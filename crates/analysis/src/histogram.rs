@@ -1,0 +1,259 @@
+//! Fixed-bin histograms for latency and temperature distributions.
+//!
+//! The QoS analysis of §3.7 is really a statement about a latency
+//! *distribution* against two thresholds; [`Histogram`] makes such
+//! distributions first-class: accumulate samples into uniform bins,
+//! query counts, fractions below a threshold, and render a compact
+//! text bar chart for reports.
+
+use std::fmt;
+
+/// A uniform-bin histogram over `[lo, hi)` with overflow/underflow bins.
+///
+/// # Examples
+///
+/// ```
+/// use dimetrodon_analysis::Histogram;
+///
+/// let mut latencies = Histogram::new(0.0, 10.0, 20);
+/// for v in [0.1, 0.2, 0.3, 4.0, 12.0] {
+///     latencies.add(v);
+/// }
+/// assert_eq!(latencies.count(), 5);
+/// assert_eq!(latencies.overflow(), 1);
+/// // Four of five samples completed under 5 seconds.
+/// assert!((latencies.fraction_below(5.0) - 0.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` uniform bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`, either bound is not finite, or `bins` is
+    /// zero.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad range [{lo}, {hi})");
+        assert!(bins > 0, "need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Adds a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn add(&mut self, value: f64) {
+        assert!(!value.is_nan(), "NaN sample");
+        self.count += 1;
+        self.sum += value;
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((value - self.lo) / width) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Mean of all samples (including out-of-range ones); `None` if
+    /// empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// The bin counts (excluding under/overflow).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Fraction of samples strictly below `threshold` (approximated to
+    /// bin resolution for in-range thresholds; exact when `threshold`
+    /// lands on a bin edge). Returns `0.0` for an empty histogram.
+    pub fn fraction_below(&self, threshold: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if threshold <= self.lo {
+            return self.underflow as f64 / self.count as f64;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let full_bins = if threshold >= self.hi {
+            self.bins.len()
+        } else {
+            (((threshold - self.lo) / width).floor() as usize).min(self.bins.len())
+        };
+        let below: u64 = self.underflow + self.bins[..full_bins].iter().sum::<u64>();
+        below as f64 / self.count as f64
+    }
+
+    /// Renders a compact text bar chart, one line per non-empty bin.
+    pub fn render(&self, max_width: usize) -> String {
+        let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let mut out = String::new();
+        if self.underflow > 0 {
+            out.push_str(&format!("< {:.3}: {}\n", self.lo, self.underflow));
+        }
+        for (i, &n) in self.bins.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let bar = "#".repeat(((n as f64 / peak as f64) * max_width as f64).ceil() as usize);
+            out.push_str(&format!(
+                "[{:>8.3}, {:>8.3}) {:>8} {bar}\n",
+                self.lo + i as f64 * width,
+                self.lo + (i + 1) as f64 * width,
+                n,
+            ));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!(">= {:.3}: {}\n", self.hi, self.overflow));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "histogram[{}, {}): n={} (under {}, over {})",
+            self.lo, self.hi, self.count, self.underflow, self.overflow
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn binning_is_correct() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.0); // bin 0
+        h.add(0.99); // bin 0
+        h.add(5.0); // bin 5
+        h.add(9.999); // bin 9
+        h.add(-1.0); // underflow
+        h.add(10.0); // overflow (hi is exclusive)
+        assert_eq!(h.bins()[0], 2);
+        assert_eq!(h.bins()[5], 1);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn fraction_below_on_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for v in [1.5, 2.5, 3.5, 4.5] {
+            h.add(v);
+        }
+        assert_eq!(h.fraction_below(0.0), 0.0);
+        assert!((h.fraction_below(3.0) - 0.5).abs() < 1e-12);
+        assert_eq!(h.fraction_below(10.0), 1.0);
+        assert_eq!(h.fraction_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn mean_tracks_all_samples() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(0.5);
+        h.add(99.5); // overflow still counted in the mean
+        assert!((h.mean().unwrap() - 50.0).abs() < 1e-12);
+        assert_eq!(Histogram::new(0.0, 1.0, 1).mean(), None);
+    }
+
+    #[test]
+    fn render_shows_bars() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.add(0.5);
+        h.add(0.6);
+        h.add(1.5);
+        let text = h.render(10);
+        assert!(text.contains("##"));
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn inverted_range_panics() {
+        Histogram::new(2.0, 1.0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_sample_panics() {
+        Histogram::new(0.0, 1.0, 2).add(f64::NAN);
+    }
+
+    proptest! {
+        /// Counts are conserved: every sample lands somewhere.
+        #[test]
+        fn prop_counts_conserved(values in prop::collection::vec(-100.0f64..100.0, 0..200)) {
+            let mut h = Histogram::new(-10.0, 10.0, 16);
+            for &v in &values {
+                h.add(v);
+            }
+            let binned: u64 = h.bins().iter().sum();
+            prop_assert_eq!(binned + h.underflow() + h.overflow(), values.len() as u64);
+        }
+
+        /// fraction_below is monotone in the threshold.
+        #[test]
+        fn prop_fraction_monotone(values in prop::collection::vec(0.0f64..10.0, 1..100)) {
+            let mut h = Histogram::new(0.0, 10.0, 20);
+            for &v in &values {
+                h.add(v);
+            }
+            let mut prev = 0.0;
+            for step in 0..=20 {
+                let f = h.fraction_below(step as f64 / 2.0);
+                prop_assert!(f >= prev - 1e-12);
+                prev = f;
+            }
+        }
+    }
+}

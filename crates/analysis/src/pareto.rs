@@ -1,0 +1,220 @@
+//! Pareto-frontier extraction for trade-off sweeps.
+//!
+//! Every figure in the paper's evaluation darkens "the pareto boundary" of
+//! a parameter sweep: the configurations for which no other configuration
+//! achieves at least as much temperature reduction at strictly lower cost.
+//! [`pareto_frontier`] extracts that boundary from a point cloud where `x`
+//! is the benefit (maximise) and `y` is the cost (minimise).
+
+/// A 2-D trade-off point with an attached payload (usually the sweep
+/// configuration that produced it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint<T> {
+    /// Benefit axis (e.g. temperature reduction) — larger is better.
+    pub benefit: f64,
+    /// Cost axis (e.g. throughput reduction) — smaller is better.
+    pub cost: f64,
+    /// The configuration that produced this point.
+    pub tag: T,
+}
+
+impl<T> TradeoffPoint<T> {
+    /// Creates a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is NaN.
+    pub fn new(benefit: f64, cost: f64, tag: T) -> Self {
+        assert!(!benefit.is_nan() && !cost.is_nan(), "NaN trade-off point");
+        TradeoffPoint { benefit, cost, tag }
+    }
+
+    /// Efficiency as the paper plots it in Figure 3:
+    /// `benefit : cost` ratio. Returns infinity for zero cost with
+    /// positive benefit.
+    pub fn efficiency(&self) -> f64 {
+        if self.cost <= 0.0 {
+            if self.benefit > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            self.benefit / self.cost
+        }
+    }
+}
+
+/// Extracts the pareto frontier: points not dominated by any other
+/// (dominated = some other point has `benefit >=` and `cost <=`, with at
+/// least one strict). The result is sorted by ascending benefit.
+///
+/// # Examples
+///
+/// ```
+/// use dimetrodon_analysis::{pareto_frontier, TradeoffPoint};
+///
+/// let points = vec![
+///     TradeoffPoint::new(0.10, 0.02, "a"),
+///     TradeoffPoint::new(0.10, 0.08, "b"), // dominated by a
+///     TradeoffPoint::new(0.50, 0.30, "c"),
+/// ];
+/// let frontier = pareto_frontier(&points);
+/// let tags: Vec<&str> = frontier.iter().map(|p| p.tag).collect();
+/// assert_eq!(tags, vec!["a", "c"]);
+/// ```
+pub fn pareto_frontier<T: Clone>(points: &[TradeoffPoint<T>]) -> Vec<TradeoffPoint<T>> {
+    let mut sorted: Vec<&TradeoffPoint<T>> = points.iter().collect();
+    // Sort by cost ascending, then benefit descending; sweep keeping
+    // points that raise the best-seen benefit.
+    sorted.sort_by(|a, b| {
+        a.cost
+            .partial_cmp(&b.cost)
+            .expect("no NaN")
+            .then(b.benefit.partial_cmp(&a.benefit).expect("no NaN"))
+    });
+    let mut frontier: Vec<TradeoffPoint<T>> = Vec::new();
+    let mut best_benefit = f64::NEG_INFINITY;
+    for p in sorted {
+        if p.benefit > best_benefit {
+            best_benefit = p.benefit;
+            frontier.push(p.clone());
+        }
+    }
+    frontier.sort_by(|a, b| a.benefit.partial_cmp(&b.benefit).expect("no NaN"));
+    frontier
+}
+
+/// Interpolates the frontier's cost at a given benefit level (linear
+/// between frontier points; `None` outside the frontier's benefit range).
+pub fn frontier_cost_at<T>(frontier: &[TradeoffPoint<T>], benefit: f64) -> Option<f64> {
+    if frontier.is_empty() {
+        return None;
+    }
+    let first = frontier.first().expect("non-empty");
+    let last = frontier.last().expect("non-empty");
+    if benefit < first.benefit || benefit > last.benefit {
+        return None;
+    }
+    for pair in frontier.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        if benefit >= a.benefit && benefit <= b.benefit {
+            if (b.benefit - a.benefit).abs() < 1e-15 {
+                return Some(a.cost.min(b.cost));
+            }
+            let t = (benefit - a.benefit) / (b.benefit - a.benefit);
+            return Some(a.cost + t * (b.cost - a.cost));
+        }
+    }
+    Some(last.cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dominated_points_removed() {
+        let pts = vec![
+            TradeoffPoint::new(0.2, 0.1, 1),
+            TradeoffPoint::new(0.2, 0.2, 2),  // worse cost, same benefit
+            TradeoffPoint::new(0.1, 0.05, 3), // cheaper, less benefit: kept
+            TradeoffPoint::new(0.15, 0.3, 4), // strictly dominated
+        ];
+        let f = pareto_frontier(&pts);
+        let tags: Vec<i32> = f.iter().map(|p| p.tag).collect();
+        assert_eq!(tags, vec![3, 1]);
+    }
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        let pts = vec![TradeoffPoint::new(0.5, 0.5, ())];
+        assert_eq!(pareto_frontier(&pts).len(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let pts: Vec<TradeoffPoint<()>> = vec![];
+        assert!(pareto_frontier(&pts).is_empty());
+        assert_eq!(frontier_cost_at::<()>(&[], 0.5), None);
+    }
+
+    #[test]
+    fn efficiency_ratio() {
+        assert_eq!(TradeoffPoint::new(0.32, 0.02, ()).efficiency(), 16.0);
+        assert_eq!(TradeoffPoint::new(0.1, 0.0, ()).efficiency(), f64::INFINITY);
+        assert_eq!(TradeoffPoint::new(0.0, 0.0, ()).efficiency(), 0.0);
+    }
+
+    #[test]
+    fn interpolation_between_frontier_points() {
+        let f = vec![
+            TradeoffPoint::new(0.1, 0.01, ()),
+            TradeoffPoint::new(0.5, 0.41, ()),
+        ];
+        let c = frontier_cost_at(&f, 0.3).unwrap();
+        assert!((c - 0.21).abs() < 1e-12);
+        assert_eq!(frontier_cost_at(&f, 0.05), None);
+        assert_eq!(frontier_cost_at(&f, 0.6), None);
+    }
+
+    #[test]
+    fn duplicate_points_keep_one_representative() {
+        let pts = vec![
+            TradeoffPoint::new(0.3, 0.1, "a"),
+            TradeoffPoint::new(0.3, 0.1, "b"),
+        ];
+        let f = pareto_frontier(&pts);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn frontier_cost_exactly_on_a_point() {
+        let f = vec![
+            TradeoffPoint::new(0.1, 0.01, ()),
+            TradeoffPoint::new(0.5, 0.41, ()),
+        ];
+        assert_eq!(frontier_cost_at(&f, 0.1), Some(0.01));
+        assert_eq!(frontier_cost_at(&f, 0.5), Some(0.41));
+    }
+
+    proptest! {
+        /// No frontier point dominates another; every input point is
+        /// dominated-or-equal by some frontier point.
+        #[test]
+        fn prop_frontier_is_sound(
+            raw in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..60)
+        ) {
+            let pts: Vec<TradeoffPoint<usize>> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(b, c))| TradeoffPoint::new(b, c, i))
+                .collect();
+            let f = pareto_frontier(&pts);
+            // Frontier sorted by benefit, strictly increasing, costs
+            // non-decreasing is NOT guaranteed in general pareto sets —
+            // but with our dominance definition cost must strictly
+            // increase with benefit along the frontier.
+            for w in f.windows(2) {
+                prop_assert!(w[1].benefit > w[0].benefit);
+                prop_assert!(w[1].cost >= w[0].cost);
+            }
+            // Soundness: no frontier point dominated by any input point.
+            for fp in &f {
+                for p in &pts {
+                    let dominates = p.benefit >= fp.benefit
+                        && p.cost <= fp.cost
+                        && (p.benefit > fp.benefit || p.cost < fp.cost);
+                    prop_assert!(!dominates, "frontier point dominated");
+                }
+            }
+            // Completeness: every input point is weakly dominated by some
+            // frontier point.
+            for p in &pts {
+                let covered = f.iter().any(|fp| fp.benefit >= p.benefit && fp.cost <= p.cost);
+                prop_assert!(covered, "input point not covered by frontier");
+            }
+        }
+    }
+}

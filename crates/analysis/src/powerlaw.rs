@@ -1,0 +1,218 @@
+//! Power-law fits of the throughput/temperature trade-off.
+//!
+//! §3.4 quantifies the trade-off "by curve-fitting the pareto boundary
+//! between temperature and throughput" as `T(r) = α · r^β`, where `r` is
+//! the desired temperature reduction and `T(r)` the throughput reduction
+//! it costs. Table 1 reports `(α, β)` per workload. [`fit_power_law`]
+//! reproduces the fit by least squares in log–log space.
+
+use std::fmt;
+
+/// A fitted `T(r) = α · r^β` model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// The multiplier α.
+    pub alpha: f64,
+    /// The exponent β. `β > 1` means the trade-off worsens superlinearly
+    /// with the reduction target — the convexity every workload in
+    /// Table 1 exhibits.
+    pub beta: f64,
+    /// Coefficient of determination of the log–log regression.
+    pub r_squared: f64,
+}
+
+impl PowerLawFit {
+    /// The fitted throughput reduction at temperature reduction `r`.
+    pub fn predict(&self, r: f64) -> f64 {
+        self.alpha * r.powf(self.beta)
+    }
+}
+
+impl fmt::Display for PowerLawFit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "T(r) = {:.3} * r^{:.3} (R^2 = {:.3})",
+            self.alpha, self.beta, self.r_squared
+        )
+    }
+}
+
+/// Errors from [`fit_power_law`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer than two usable (strictly positive) points.
+    TooFewPoints,
+    /// All usable points share the same `r`, so the slope is undefined.
+    DegenerateAbscissa,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::TooFewPoints => write!(f, "need at least two positive points to fit"),
+            FitError::DegenerateAbscissa => write!(f, "all points share one abscissa"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Fits `T(r) = α·r^β` to `(r, T)` pairs by linear least squares on
+/// `ln T = ln α + β ln r`. Points with non-positive `r` or `T` carry no
+/// information in log space and are skipped.
+///
+/// # Errors
+///
+/// Returns [`FitError`] if fewer than two usable points remain or they
+/// share a single abscissa.
+///
+/// # Examples
+///
+/// ```
+/// use dimetrodon_analysis::fit_power_law;
+///
+/// // Exact power law: T = 1.1 * r^1.5.
+/// let pts: Vec<(f64, f64)> = (1..10)
+///     .map(|i| {
+///         let r = i as f64 / 10.0;
+///         (r, 1.1 * r.powf(1.5))
+///     })
+///     .collect();
+/// let fit = fit_power_law(&pts)?;
+/// assert!((fit.alpha - 1.1).abs() < 1e-9);
+/// assert!((fit.beta - 1.5).abs() < 1e-9);
+/// # Ok::<(), dimetrodon_analysis::FitError>(())
+/// ```
+pub fn fit_power_law(points: &[(f64, f64)]) -> Result<PowerLawFit, FitError> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(r, t)| r > 0.0 && t > 0.0)
+        .map(|&(r, t)| (r.ln(), t.ln()))
+        .collect();
+    if logs.len() < 2 {
+        return Err(FitError::TooFewPoints);
+    }
+    let n = logs.len() as f64;
+    let mean_x = logs.iter().map(|&(x, _)| x).sum::<f64>() / n;
+    let mean_y = logs.iter().map(|&(_, y)| y).sum::<f64>() / n;
+    let sxx: f64 = logs.iter().map(|&(x, _)| (x - mean_x).powi(2)).sum();
+    if sxx < 1e-24 {
+        return Err(FitError::DegenerateAbscissa);
+    }
+    let sxy: f64 = logs
+        .iter()
+        .map(|&(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    let beta = sxy / sxx;
+    let ln_alpha = mean_y - beta * mean_x;
+
+    let syy: f64 = logs.iter().map(|&(_, y)| (y - mean_y).powi(2)).sum();
+    let r_squared = if syy < 1e-24 {
+        1.0
+    } else {
+        let ss_res: f64 = logs
+            .iter()
+            .map(|&(x, y)| (y - (ln_alpha + beta * x)).powi(2))
+            .sum();
+        1.0 - ss_res / syy
+    };
+
+    Ok(PowerLawFit {
+        alpha: ln_alpha.exp(),
+        beta,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn recovers_paper_cpuburn_parameters() {
+        // Synthesize points from Table 1's cpuburn fit and recover it.
+        let (alpha, beta) = (1.092, 1.541);
+        let pts: Vec<(f64, f64)> = (1..=15)
+            .map(|i| {
+                let r = i as f64 / 20.0; // r in [0.05, 0.75]
+                (r, alpha * r.powf(beta))
+            })
+            .collect();
+        let fit = fit_power_law(&pts).unwrap();
+        assert!((fit.alpha - alpha).abs() < 1e-9);
+        assert!((fit.beta - beta).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn skips_nonpositive_points() {
+        let pts = vec![(0.0, 0.0), (-0.1, 0.5), (0.2, 0.1), (0.4, 0.3), (0.6, 0.55)];
+        let fit = fit_power_law(&pts).unwrap();
+        assert!(fit.beta > 0.0);
+    }
+
+    #[test]
+    fn too_few_points_error() {
+        assert_eq!(fit_power_law(&[(0.5, 0.5)]), Err(FitError::TooFewPoints));
+        assert_eq!(fit_power_law(&[]), Err(FitError::TooFewPoints));
+        assert_eq!(
+            fit_power_law(&[(0.0, 1.0), (0.5, 0.5)]),
+            Err(FitError::TooFewPoints)
+        );
+    }
+
+    #[test]
+    fn degenerate_abscissa_error() {
+        assert_eq!(
+            fit_power_law(&[(0.5, 0.1), (0.5, 0.2), (0.5, 0.3)]),
+            Err(FitError::DegenerateAbscissa)
+        );
+    }
+
+    #[test]
+    fn noisy_fit_has_sub_unity_r_squared() {
+        let pts = vec![(0.1, 0.02), (0.2, 0.09), (0.4, 0.15), (0.6, 0.55), (0.8, 0.6)];
+        let fit = fit_power_law(&pts).unwrap();
+        assert!(fit.r_squared < 1.0);
+        assert!(fit.r_squared > 0.5);
+    }
+
+    #[test]
+    fn predict_evaluates_the_law() {
+        let fit = PowerLawFit {
+            alpha: 2.0,
+            beta: 2.0,
+            r_squared: 1.0,
+        };
+        assert!((fit.predict(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_format() {
+        let fit = PowerLawFit {
+            alpha: 1.092,
+            beta: 1.541,
+            r_squared: 0.99,
+        };
+        assert_eq!(fit.to_string(), "T(r) = 1.092 * r^1.541 (R^2 = 0.990)");
+    }
+
+    proptest! {
+        /// Exact power-law data is recovered for any (α, β) in a broad
+        /// range.
+        #[test]
+        fn prop_exact_recovery(alpha in 0.1f64..10.0, beta in 0.2f64..4.0) {
+            let pts: Vec<(f64, f64)> = (1..=12)
+                .map(|i| {
+                    let r = i as f64 / 16.0;
+                    (r, alpha * r.powf(beta))
+                })
+                .collect();
+            let fit = fit_power_law(&pts).unwrap();
+            prop_assert!((fit.alpha - alpha).abs() < 1e-6 * alpha);
+            prop_assert!((fit.beta - beta).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Summary statistics for multi-trial experiments.
+//!
+//! The paper averages over repeated trials (100 per configuration in the
+//! throughput validation, five in the energy validation) and reports mean
+//! and average-absolute deviations. [`Summary`] collects those reductions
+//! once over a slice of trial results.
+
+use std::fmt;
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Mean of absolute values — the paper's "average absolute deviation"
+    /// when applied to a sample of deviations.
+    pub mean_abs: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains NaN.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarise an empty sample");
+        assert!(values.iter().all(|v| !v.is_nan()), "NaN in sample");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            mean_abs: values.iter().map(|v| v.abs()).sum::<f64>() / n as f64,
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        self.std_dev / (self.n as f64).sqrt()
+    }
+
+    /// An approximate 95 % confidence interval for the mean
+    /// (`mean ± 1.96·SE`).
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.std_err();
+        (self.mean - half, self.mean + half)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.n, self.mean, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev with n-1: sqrt(32/7).
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.std_err(), 0.0);
+    }
+
+    #[test]
+    fn mean_abs_for_deviations() {
+        // The paper: "average deviation of -0.37% and an average absolute
+        // deviation of 1.67%" — signed mean vs mean_abs.
+        let s = Summary::of(&[-2.0, 1.0, -1.0, 2.0]);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.mean_abs, 1.5);
+    }
+
+    #[test]
+    fn ci_contains_mean() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let (lo, hi) = s.ci95();
+        assert!(lo < s.mean && s.mean < hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics() {
+        Summary::of(&[1.0, f64::NAN]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bounds_hold(values in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+            let s = Summary::of(&values);
+            prop_assert!(s.min <= s.mean + 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+            prop_assert!(s.std_dev >= 0.0);
+            prop_assert!(s.mean_abs >= s.mean.abs() - 1e-9);
+        }
+
+        /// Shifting a sample shifts the mean and leaves the deviation
+        /// unchanged.
+        #[test]
+        fn prop_shift_invariance(values in prop::collection::vec(-1e3f64..1e3, 2..50), shift in -1e3f64..1e3) {
+            let a = Summary::of(&values);
+            let shifted: Vec<f64> = values.iter().map(|v| v + shift).collect();
+            let b = Summary::of(&shifted);
+            prop_assert!((b.mean - (a.mean + shift)).abs() < 1e-6);
+            prop_assert!((b.std_dev - a.std_dev).abs() < 1e-6);
+        }
+    }
+}

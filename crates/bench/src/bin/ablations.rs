@@ -1,0 +1,493 @@
+//! Ablations of the reproduction's own design choices — the DESIGN.md §6
+//! list. Each section perturbs exactly one knob and reports the effect:
+//!
+//! 1. probabilistic vs deterministic injection (§3.4's conjecture);
+//! 2. C1E vs nop-loop idle (§2.1's fallback);
+//! 3. 4.4BSD vs ULE-lite scheduler (footnote 2's generalisation);
+//! 4. the hotspot sensing model itself (without it, efficiency is flat —
+//!    the reproduction's key modelling claim);
+//! 5. the cold-resume penalty (source of the §3.3 model deviation);
+//! 6. SMT: naive injection vs co-scheduled idle quanta (§3.2);
+//! 7. thermal-aware wake placement (the related-work complement).
+//!
+//! ```text
+//! cargo run --release -p dimetrodon-bench --bin ablations
+//! ```
+
+use dimetrodon::model::predicted_runtime;
+use dimetrodon::{
+    DimetrodonHook, InjectionModel, InjectionParams, PolicyHandle, PowerCapController,
+    SmtCoScheduler,
+};
+use dimetrodon_analysis::Table;
+use dimetrodon_bench::{banner, run_config_from_args, write_csv};
+use dimetrodon_harness::{
+    characterize, characterize_on, Actuation, RunConfig, SaturatingWorkload,
+};
+use dimetrodon_machine::{Machine, MachineConfig, ThermalThrottle};
+use dimetrodon_sched::{
+    BsdScheduler, NullHook, SchedConfig, SchedHook, Scheduler, System, ThreadKind, UleScheduler,
+};
+use dimetrodon_sim_core::{SimDuration, SimTime};
+use dimetrodon_workload::CpuBurn;
+
+fn main() {
+    let config = run_config_from_args(111);
+    let mut table = Table::new(vec!["ablation", "variant", "metric", "value"]);
+
+    injection_model(&mut table, config);
+    idle_mode(&mut table, config);
+    scheduler_choice(&mut table, config);
+    hotspot_model(&mut table, config);
+    resume_penalty(&mut table);
+    smt_co_scheduling(&mut table);
+    thermal_placement(&mut table);
+    deep_cstates(&mut table, config);
+    power_cap(&mut table);
+    preventive_vs_reactive(&mut table, config);
+
+    banner("ablations", "design-choice studies (one knob per section)");
+    println!("{}", table.render());
+    write_csv("ablations", &table);
+}
+
+fn push(table: &mut Table, ablation: &str, variant: &str, metric: &str, value: f64) {
+    table.row(vec![
+        ablation.to_string(),
+        variant.to_string(),
+        metric.to_string(),
+        format!("{value:.4}"),
+    ]);
+}
+
+/// 1. Probabilistic vs deterministic injection at the same `(p, L)`.
+fn injection_model(table: &mut Table, config: RunConfig) {
+    for (name, model) in [
+        ("probabilistic", InjectionModel::Probabilistic),
+        ("deterministic", InjectionModel::Deterministic),
+    ] {
+        let out = characterize(
+            SaturatingWorkload::CpuBurn,
+            Actuation::Injection {
+                params: InjectionParams::new(0.5, SimDuration::from_millis(100)),
+                model,
+            },
+            config,
+        );
+        push(table, "injection_model", name, "observed_tail_c", out.tail_temp);
+        let physical = out
+            .temp_series
+            .mean_over(SimTime::ZERO + (config.duration - config.measure_window))
+            .expect("sampled");
+        push(table, "injection_model", name, "physical_tail_c", physical);
+        let jitter = {
+            let tail: Vec<f64> = out
+                .observed_curve
+                .iter()
+                .filter(|(t, _)| *t > config.duration.as_secs_f64() / 2.0)
+                .map(|&(_, v)| v)
+                .collect();
+            tail.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (tail.len() - 1) as f64
+        };
+        push(table, "injection_model", name, "curve_jitter_c", jitter);
+    }
+}
+
+/// 2. C1E vs nop-loop idle at the same policy.
+fn idle_mode(table: &mut Table, config: RunConfig) {
+    for (name, machine_config) in [
+        ("c1e", MachineConfig::xeon_e5520()),
+        ("nop_loop", MachineConfig::xeon_e5520_nop_idle()),
+    ] {
+        let base = characterize_on(
+            &machine_config,
+            SaturatingWorkload::CpuBurn,
+            Actuation::None,
+            config,
+        );
+        let run = characterize_on(
+            &machine_config,
+            SaturatingWorkload::CpuBurn,
+            Actuation::Injection {
+                params: InjectionParams::new(0.5, SimDuration::from_millis(25)),
+                model: InjectionModel::Probabilistic,
+            },
+            config,
+        );
+        push(
+            table,
+            "idle_mode",
+            name,
+            "temp_reduction",
+            run.temp_reduction_vs(&base),
+        );
+    }
+}
+
+/// 3. The same injection point under the 4.4BSD and ULE-lite schedulers.
+fn scheduler_choice(table: &mut Table, config: RunConfig) {
+    let run_with = |scheduler: Box<dyn Scheduler>, inject: bool, seed: u64| {
+        let mut machine = Machine::new(MachineConfig::xeon_e5520()).expect("preset");
+        machine.settle_idle();
+        let hook: Box<dyn SchedHook> = if inject {
+            let policy = PolicyHandle::new();
+            policy.set_global(Some(InjectionParams::new(0.5, SimDuration::from_millis(25))));
+            Box::new(DimetrodonHook::new(policy, seed))
+        } else {
+            Box::new(NullHook)
+        };
+        let mut system =
+            System::with_parts(machine, scheduler, hook, SchedConfig::default());
+        let ids: Vec<_> = (0..4)
+            .map(|_| system.spawn(ThreadKind::User, Box::new(CpuBurn::infinite())))
+            .collect();
+        system.run_until(SimTime::ZERO + config.duration);
+        let observed = system
+            .observed_temp_over(SimTime::ZERO + (config.duration - config.measure_window))
+            .expect("samples");
+        let idle = system.machine().idle_temperature();
+        let executed: f64 = ids
+            .iter()
+            .map(|&id| system.thread_stats(id).cpu_executed.as_secs_f64())
+            .sum();
+        (observed, idle, executed / (4.0 * config.duration.as_secs_f64()))
+    };
+    type MakeScheduler = fn() -> Box<dyn Scheduler>;
+    let schedulers: [(&str, MakeScheduler); 2] = [
+        ("bsd", || Box::new(BsdScheduler::new())),
+        ("ule", || Box::new(UleScheduler::new(4))),
+    ];
+    for (name, mk) in schedulers {
+        let (hot, idle, base_thr) = run_with(mk(), false, config.seed);
+        let (cooled, _, thr) = run_with(mk(), true, config.seed + 1);
+        push(
+            table,
+            "scheduler",
+            name,
+            "temp_reduction",
+            (hot - cooled) / (hot - idle),
+        );
+        push(
+            table,
+            "scheduler",
+            name,
+            "throughput_reduction",
+            1.0 - thr / base_thr,
+        );
+    }
+}
+
+/// 4. Remove the hotspot power concentration: the efficiency advantage
+///    of short quanta should collapse toward 1:1 (the reproduction's
+///    central modelling claim — in a linear network with bulk-only
+///    sensing, mean temperature tracks duty exactly).
+fn hotspot_model(table: &mut Table, config: RunConfig) {
+    let mut flat = MachineConfig::xeon_e5520();
+    flat.thermal.hotspot_power_fraction = 0.0;
+
+    for (name, machine_config) in [
+        ("with_hotspot", MachineConfig::xeon_e5520()),
+        ("no_hotspot", flat),
+    ] {
+        let base = characterize_on(
+            &machine_config,
+            SaturatingWorkload::CpuBurn,
+            Actuation::None,
+            config,
+        );
+        let run = characterize_on(
+            &machine_config,
+            SaturatingWorkload::CpuBurn,
+            Actuation::Injection {
+                params: InjectionParams::new(0.25, SimDuration::from_millis(2)),
+                model: InjectionModel::Probabilistic,
+            },
+            config,
+        );
+        let temp = run.temp_reduction_vs(&base);
+        let thr = run.throughput_reduction_vs(&base).max(1e-6);
+        push(table, "hotspot_model", name, "short_quantum_efficiency", temp / thr);
+    }
+}
+
+/// 5. Cold-resume penalty sweep: the §3.3 deviation from `D(t)` scales
+///    with the penalty.
+fn resume_penalty(table: &mut Table) {
+    let (p, l, work) = (0.75, SimDuration::from_millis(50), SimDuration::from_secs(7));
+    let predicted = predicted_runtime(7.0, 0.1, p, 0.05);
+    for penalty_us in [0u64, 150, 1000] {
+        let mut deviations = Vec::new();
+        for trial in 0..12u64 {
+            let mut machine = Machine::new(MachineConfig::xeon_e5520()).expect("preset");
+            machine.settle_idle();
+            let policy = PolicyHandle::new();
+            policy.set_global(Some(InjectionParams::new(p, l)));
+            let mut system = System::with_parts(
+                machine,
+                Box::new(BsdScheduler::new()),
+                Box::new(DimetrodonHook::new(policy, 500 + trial)),
+                SchedConfig {
+                    resume_penalty: SimDuration::from_micros(penalty_us),
+                    ..SchedConfig::default()
+                },
+            );
+            let id = system.spawn(ThreadKind::User, Box::new(CpuBurn::finite(work)));
+            assert!(system.run_until_exited(&[id], SimTime::from_secs(300)));
+            let wall = system.thread_stats(id).wall_time().expect("exited").as_secs_f64();
+            deviations.push((wall - predicted) / predicted);
+        }
+        let mean = deviations.iter().sum::<f64>() / deviations.len() as f64;
+        push(
+            table,
+            "resume_penalty",
+            &format!("{penalty_us}us"),
+            "mean_deviation_from_dt",
+            mean,
+        );
+    }
+}
+
+/// 6. SMT: naive injection vs co-scheduled idle quanta (§3.2).
+fn smt_co_scheduling(table: &mut Table) {
+    let run = |co: bool, inject: bool, seed: u64| {
+        let mut machine = Machine::new(MachineConfig::xeon_e5520_smt()).expect("preset");
+        machine.settle_idle();
+        let mut system = System::new(machine);
+        if inject {
+            let policy = PolicyHandle::new();
+            policy.set_global(Some(InjectionParams::new(0.5, SimDuration::from_millis(50))));
+            let hook = DimetrodonHook::new(policy, seed);
+            if co {
+                system.set_hook(Box::new(SmtCoScheduler::new(hook)));
+            } else {
+                system.set_hook(Box::new(hook));
+            }
+        }
+        for _ in 0..8 {
+            system.spawn(ThreadKind::User, Box::new(CpuBurn::infinite()));
+        }
+        system.run_until(SimTime::from_secs(120));
+        system
+            .observed_temp_over(SimTime::from_secs(100))
+            .expect("samples")
+    };
+    let hot = run(false, false, 0);
+    let naive = run(false, true, 1);
+    let co = run(true, true, 2);
+    push(table, "smt", "unconstrained", "observed_tail_c", hot);
+    push(table, "smt", "naive_injection", "observed_tail_c", naive);
+    push(table, "smt", "co_scheduled", "observed_tail_c", co);
+}
+
+/// 8. Deep C-states: with a C6-class state available, long idle quanta
+///    gain extra cooling (lower idle floor) at the cost of cache-refill
+///    penalties — the §2.2 "if a low power state flushes cache lines"
+///    what-if.
+fn deep_cstates(table: &mut Table, config: RunConfig) {
+    for (name, machine_config) in [
+        ("c1e_only", MachineConfig::xeon_e5520()),
+        ("with_c6", MachineConfig::xeon_e5520_deep_idle()),
+    ] {
+        let base = characterize_on(
+            &machine_config,
+            SaturatingWorkload::CpuBurn,
+            Actuation::None,
+            config,
+        );
+        for l_ms in [1u64, 100] {
+            let run = characterize_on(
+                &machine_config,
+                SaturatingWorkload::CpuBurn,
+                Actuation::Injection {
+                    params: InjectionParams::new(0.5, SimDuration::from_millis(l_ms)),
+                    model: InjectionModel::Probabilistic,
+                },
+                config,
+            );
+            push(
+                table,
+                "deep_cstates",
+                &format!("{name}_L{l_ms}ms"),
+                "temp_reduction",
+                run.temp_reduction_vs(&base),
+            );
+            push(
+                table,
+                "deep_cstates",
+                &format!("{name}_L{l_ms}ms"),
+                "throughput_reduction",
+                run.throughput_reduction_vs(&base),
+            );
+        }
+    }
+}
+
+/// 9. Power capping via forced idleness (§4's related-work bridge): at
+///    the same package-power cap, shorter idle quanta leave the machine
+///    cooler — "rearchitecting the power-capping mechanism to use
+///    shorter idle quanta would provide thermally-beneficial
+///    side-effects".
+fn power_cap(table: &mut Table) {
+    for quantum_ms in [5u64, 25, 100] {
+        let mut machine = Machine::new(MachineConfig::xeon_e5520()).expect("preset");
+        machine.settle_idle();
+        let hook = DimetrodonHook::new(PolicyHandle::new(), 600 + quantum_ms);
+        let controller =
+            PowerCapController::new(hook, 45.0, SimDuration::from_millis(quantum_ms));
+        let mut system = System::new(machine);
+        system.set_hook(Box::new(controller));
+        for _ in 0..4 {
+            system.spawn(ThreadKind::User, Box::new(CpuBurn::infinite()));
+        }
+        system.run_until(SimTime::from_secs(150));
+        let observed = system
+            .observed_temp_over(SimTime::from_secs(100))
+            .expect("samples");
+        // Mean power over the tail, sampled once per second.
+        let mut sum = 0.0;
+        for s in 150..180 {
+            system.run_until(SimTime::from_secs(s));
+            sum += system.machine().package_power();
+        }
+        push(
+            table,
+            "power_cap_45w",
+            &format!("L{quantum_ms}ms"),
+            "mean_power_w",
+            sum / 30.0,
+        );
+        push(
+            table,
+            "power_cap_45w",
+            &format!("L{quantum_ms}ms"),
+            "observed_temp_c",
+            observed,
+        );
+    }
+}
+
+/// 10. Preventive (Dimetrodon) vs reactive (PROCHOT-style trip) thermal
+///     management — the paper's §1 framing. At a matched throughput
+///     loss, the reactive throttle only clips the peak at its trigger
+///     while Dimetrodon lowers the whole trajectory.
+fn preventive_vs_reactive(table: &mut Table, config: RunConfig) {
+    let reactive_run = |trigger: f64| {
+        let mut machine_config = MachineConfig::xeon_e5520();
+        machine_config.thermal_throttle = Some(ThermalThrottle::prochot_at(trigger));
+        let mut machine = Machine::new(machine_config).expect("preset");
+        machine.settle_idle();
+        let mut system = System::new(machine);
+        let ids: Vec<_> = (0..4)
+            .map(|_| system.spawn(ThreadKind::User, Box::new(CpuBurn::infinite())))
+            .collect();
+        system.run_until(SimTime::ZERO + config.duration);
+        let observed = system
+            .observed_temp_over(SimTime::ZERO + (config.duration - config.measure_window))
+            .expect("samples");
+        let executed: f64 = ids
+            .iter()
+            .map(|&id| system.thread_stats(id).cpu_executed.as_secs_f64())
+            .sum();
+        (observed, executed / (4.0 * config.duration.as_secs_f64()))
+    };
+
+    // Near-critical trigger (how real systems deploy reactive DTM): it
+    // barely touches the average in normal operation.
+    let near_critical = reactive_run(56.0);
+    push(
+        table,
+        "preventive_vs_reactive",
+        "reactive_56c",
+        "observed_temp_c",
+        near_critical.0,
+    );
+    push(table, "preventive_vs_reactive", "reactive_56c", "throughput", near_critical.1);
+
+    // In-range trigger: the trip becomes a closed-loop duty regulator.
+    let reactive = reactive_run(50.0);
+    push(table, "preventive_vs_reactive", "reactive_50c", "observed_temp_c", reactive.0);
+    push(table, "preventive_vs_reactive", "reactive_50c", "throughput", reactive.1);
+
+    // Preventive: spend the same throughput with short quanta.
+    let budget = (1.0 - reactive.1).clamp(0.01, 0.95);
+    let params = dimetrodon::PolicyPlanner::new(SimDuration::from_millis(100))
+        .for_throughput_budget(budget)
+        .expect("budget is feasible");
+    let preventive = characterize(
+        SaturatingWorkload::CpuBurn,
+        Actuation::Injection {
+            params,
+            model: InjectionModel::Probabilistic,
+        },
+        config,
+    );
+    push(
+        table,
+        "preventive_vs_reactive",
+        "dimetrodon_matched",
+        "observed_temp_c",
+        preventive.tail_temp,
+    );
+    push(
+        table,
+        "preventive_vs_reactive",
+        "dimetrodon_matched",
+        "throughput",
+        preventive.throughput,
+    );
+}
+
+/// 7. Thermal-aware wake placement on a pulsed single-thread load.
+fn thermal_placement(table: &mut Table) {
+    use dimetrodon_sched::{Action, Burst, ThreadBody};
+    #[derive(Debug)]
+    struct Pulsed {
+        left: SimDuration,
+    }
+    impl ThreadBody for Pulsed {
+        fn next_action(&mut self, _now: SimTime) -> Action {
+            if self.left.is_zero() {
+                self.left = SimDuration::from_millis(300);
+                return Action::Sleep(SimDuration::from_millis(60));
+            }
+            let chunk = self.left.min(SimDuration::from_millis(10));
+            self.left -= chunk;
+            Action::Run(Burst::new(chunk, 1.0))
+        }
+    }
+    for placement in [false, true] {
+        let machine = Machine::new(MachineConfig::xeon_e5520()).expect("preset");
+        let mut system = System::with_parts(
+            machine,
+            Box::new(BsdScheduler::new()),
+            Box::new(NullHook),
+            SchedConfig {
+                thermal_aware_placement: placement,
+                ..SchedConfig::default()
+            },
+        );
+        system.machine_mut().settle_idle();
+        system.spawn(
+            ThreadKind::User,
+            Box::new(Pulsed {
+                left: SimDuration::from_millis(300),
+            }),
+        );
+        system.run_until(SimTime::from_secs(90));
+        let hottest = (0..4)
+            .map(|i| {
+                system
+                    .core_temp_series(dimetrodon_machine::CoreId(i))
+                    .mean_over(SimTime::from_secs(45))
+                    .expect("sampled")
+            })
+            .fold(f64::MIN, f64::max);
+        push(
+            table,
+            "placement",
+            if placement { "thermal_aware" } else { "queue_order" },
+            "hottest_die_mean_c",
+            hottest,
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Regenerates Figure 3: Dimetrodon efficiency (temperature:throughput)
+//! for cpuburn across idle quantum lengths and proportions.
+//!
+//! ```text
+//! cargo run --release -p dimetrodon-bench --bin fig3
+//! ```
+
+use dimetrodon_analysis::Table;
+use dimetrodon_bench::{banner, quick_requested, run_config_from_args, write_csv};
+use dimetrodon_harness::experiments::fig3;
+
+fn main() {
+    banner(
+        "Figure 3",
+        "efficiency vs idle quantum length L for p in {.1, .25, .5, .75}",
+    );
+    let config = run_config_from_args(103);
+    let data = if quick_requested() {
+        fig3::run_subset(config, &[0.25, 0.5], &[1, 5, 25, 100])
+    } else {
+        fig3::run(config)
+    };
+
+    let mut table = Table::new(vec![
+        "p",
+        "L_ms",
+        "temp_reduction",
+        "throughput_reduction",
+        "efficiency",
+    ]);
+    for point in &data.points {
+        table.row(vec![
+            format!("{:.2}", point.p),
+            format!("{}", point.l_ms),
+            format!("{:.4}", point.temp_reduction),
+            format!("{:.4}", point.throughput_reduction),
+            format!("{:.2}", point.efficiency()),
+        ]);
+    }
+    println!("{}", table.render());
+    write_csv("fig3_efficiency", &table);
+
+    let best = data
+        .points
+        .iter()
+        .filter(|p| p.temp_reduction > 0.01)
+        .max_by(|a, b| a.efficiency().partial_cmp(&b.efficiency()).expect("no NaN"))
+        .expect("sweep produced points");
+    println!(
+        "best efficiency: {:.1}:1 at p={:.2}, L={} ms (temp reduction {:.1}%) — \
+         the paper reports 16:1 at a 4.4% reduction",
+        best.efficiency(),
+        best.p,
+        best.l_ms,
+        best.temp_reduction * 100.0,
+    );
+}

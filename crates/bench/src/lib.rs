@@ -1,0 +1,88 @@
+//! Shared scaffolding for the figure/table regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper: it runs the corresponding `dimetrodon-harness` experiment,
+//! prints the rows/series the paper reports, and writes a CSV under
+//! `results/` for plotting. Pass `--quick` to any binary to run the
+//! shortened configuration (used in smoke tests); the default matches the
+//! paper's 300 s methodology.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dimetrodon_analysis::Table;
+use dimetrodon_harness::RunConfig;
+
+/// Parses the common CLI convention: `--quick` selects the shortened run
+/// configuration, `--seed N` overrides the seed.
+///
+/// # Panics
+///
+/// Panics if `--seed` is present without a valid integer after it.
+pub fn run_config_from_args(default_seed: u64) -> RunConfig {
+    let args: Vec<String> = std::env::args().collect();
+    let mut seed = default_seed;
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        seed = args
+            .get(pos + 1)
+            .and_then(|s| s.parse().ok())
+            .expect("--seed requires an integer");
+    }
+    if args.iter().any(|a| a == "--quick") {
+        RunConfig::quick(seed)
+    } else {
+        RunConfig::paper(seed)
+    }
+}
+
+/// Whether `--quick` was passed (for binaries that scale sweep grids as
+/// well as durations).
+pub fn quick_requested() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Prints a banner naming the experiment being regenerated.
+pub fn banner(id: &str, caption: &str) {
+    println!("================================================================");
+    println!("{id}: {caption}");
+    println!("================================================================");
+}
+
+/// The output directory for CSVs (`results/`, created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Writes a table as CSV under `results/` and reports the path.
+pub fn write_csv(name: &str, table: &Table) {
+    let path = results_dir().join(format!("{name}.csv"));
+    fs::write(&path, table.render_csv()).expect("write csv");
+    println!("[wrote {}]", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_paper_scale() {
+        let config = run_config_from_args(5);
+        assert_eq!(config.seed, 5);
+        assert_eq!(
+            config.duration,
+            dimetrodon_sim_core::SimDuration::from_secs(300)
+        );
+    }
+
+    #[test]
+    fn write_csv_roundtrip() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1".into()]);
+        write_csv("bench_selftest", &t);
+        let read = std::fs::read_to_string(results_dir().join("bench_selftest.csv")).unwrap();
+        assert_eq!(read, "a\n1\n");
+        let _ = std::fs::remove_file(results_dir().join("bench_selftest.csv"));
+    }
+}

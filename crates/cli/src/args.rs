@@ -1,0 +1,427 @@
+//! Argument parsing for `dimetrodon-sim` — hand-rolled, dependency-free.
+
+use std::fmt;
+
+use dimetrodon_sim_core::SimDuration;
+use dimetrodon_workload::SpecBenchmark;
+
+/// The workload families the CLI can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadChoice {
+    /// One infinite cpuburn per logical CPU.
+    CpuBurn,
+    /// One SPEC-like profile instance per logical CPU.
+    Spec(SpecBenchmark),
+    /// The 440-connection web workload.
+    Web,
+    /// The Figure 5 mix: four calculix + the periodic cool process.
+    Mix,
+    /// Replay a recorded workload profile file (one instance per logical
+    /// CPU); see [`WorkloadProfile`](dimetrodon_workload::WorkloadProfile)
+    /// for the format.
+    Profile,
+}
+
+impl WorkloadChoice {
+    fn parse(value: &str) -> Result<Self, ParseArgsError> {
+        match value {
+            "cpuburn" => Ok(WorkloadChoice::CpuBurn),
+            "web" => Ok(WorkloadChoice::Web),
+            "mix" => Ok(WorkloadChoice::Mix),
+            "profile" => Ok(WorkloadChoice::Profile),
+            other => SpecBenchmark::ALL
+                .iter()
+                .find(|b| b.name() == other)
+                .map(|&b| WorkloadChoice::Spec(b))
+                .ok_or_else(|| ParseArgsError::BadValue {
+                    flag: "--workload",
+                    value: other.to_string(),
+                    expected:
+                        "cpuburn | calculix | namd | dealII | bzip2 | gcc | astar | web | mix | profile",
+                }),
+        }
+    }
+}
+
+/// Which scheduler to install.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerChoice {
+    /// 4.4BSD multi-level feedback queue (the paper's).
+    #[default]
+    Bsd,
+    /// ULE-lite per-CPU queues.
+    Ule,
+}
+
+/// Fully parsed CLI options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Workload to drive.
+    pub workload: WorkloadChoice,
+    /// Injection probability; `None` disables injection.
+    pub p: Option<f64>,
+    /// Idle quantum length.
+    pub quantum: SimDuration,
+    /// Deterministic (error-diffusion) injection instead of Bernoulli.
+    pub deterministic: bool,
+    /// Closed-loop temperature setpoint (°C); overrides `p`.
+    pub setpoint: Option<f64>,
+    /// Simulated run length.
+    pub duration: SimDuration,
+    /// Scheduler choice.
+    pub scheduler: SchedulerChoice,
+    /// Enable SMT (8 logical CPUs) with co-scheduled idle quanta.
+    pub smt: bool,
+    /// Enable thermal-aware wake placement.
+    pub placement: bool,
+    /// Dump the last N scheduling decisions after the run.
+    pub trace: Option<usize>,
+    /// Path of the profile file for `--workload profile` / `--profile`.
+    pub profile_path: Option<String>,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            workload: WorkloadChoice::CpuBurn,
+            p: None,
+            quantum: SimDuration::from_millis(25),
+            deterministic: false,
+            setpoint: None,
+            duration: SimDuration::from_secs(150),
+            scheduler: SchedulerChoice::Bsd,
+            smt: false,
+            placement: false,
+            trace: None,
+            profile_path: None,
+            seed: 42,
+        }
+    }
+}
+
+/// Errors from [`Options::parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseArgsError {
+    /// A flag that takes a value was passed without one.
+    MissingValue {
+        /// The flag.
+        flag: &'static str,
+    },
+    /// A value failed to parse or is out of range.
+    BadValue {
+        /// The flag.
+        flag: &'static str,
+        /// The offending value.
+        value: String,
+        /// What would have been accepted.
+        expected: &'static str,
+    },
+    /// An unrecognised argument.
+    UnknownFlag(String),
+    /// `--help` was requested.
+    HelpRequested,
+}
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseArgsError::MissingValue { flag } => write!(f, "{flag} requires a value"),
+            ParseArgsError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "bad value `{value}` for {flag} (expected {expected})"),
+            ParseArgsError::UnknownFlag(flag) => write!(f, "unknown argument `{flag}`"),
+            ParseArgsError::HelpRequested => write!(f, "help requested"),
+        }
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+/// Usage text for `--help`.
+pub const USAGE: &str = "\
+dimetrodon-sim: run a custom scenario on the simulated platform
+
+USAGE:
+    dimetrodon-sim [OPTIONS]
+
+OPTIONS:
+    --workload <w>     cpuburn | calculix | namd | dealII | bzip2 | gcc |
+                       astar | web | mix | profile        [default: cpuburn]
+    --profile <file>   replay a workload profile (implies --workload profile);
+                       format: `compute <ms> <activity>` / `wait <ms>` lines
+    --p <0..1>         injection probability              [default: off]
+    --l-ms <ms>        idle quantum length in ms          [default: 25]
+    --deterministic    error-diffusion injection instead of Bernoulli
+    --setpoint <C>     closed-loop temperature target (overrides --p)
+    --duration-secs <s> simulated run length              [default: 150]
+    --scheduler <s>    bsd | ule                          [default: bsd]
+    --smt              enable SMT (co-scheduled idle quanta)
+    --placement        thermal-aware wake placement
+    --trace <n>        print the last n scheduling decisions
+    --seed <n>         simulation seed                    [default: 42]
+    --help             print this text
+";
+
+impl Options {
+    /// Parses an argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseArgsError`] describing the first problem, or
+    /// [`ParseArgsError::HelpRequested`] for `--help`.
+    pub fn parse<I, S>(args: I) -> Result<Options, ParseArgsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut options = Options::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let arg = arg.as_ref();
+            let mut value_for = |flag: &'static str| {
+                iter.next()
+                    .map(|v| v.as_ref().to_string())
+                    .ok_or(ParseArgsError::MissingValue { flag })
+            };
+            match arg {
+                "--workload" => {
+                    options.workload = WorkloadChoice::parse(&value_for("--workload")?)?;
+                }
+                "--p" => {
+                    let raw = value_for("--p")?;
+                    let p: f64 = raw.parse().map_err(|_| ParseArgsError::BadValue {
+                        flag: "--p",
+                        value: raw.clone(),
+                        expected: "a number in [0, 1)",
+                    })?;
+                    if !(0.0..1.0).contains(&p) {
+                        return Err(ParseArgsError::BadValue {
+                            flag: "--p",
+                            value: raw,
+                            expected: "a number in [0, 1)",
+                        });
+                    }
+                    options.p = Some(p);
+                }
+                "--l-ms" => {
+                    let raw = value_for("--l-ms")?;
+                    let ms: f64 = raw.parse().map_err(|_| ParseArgsError::BadValue {
+                        flag: "--l-ms",
+                        value: raw.clone(),
+                        expected: "a positive number of milliseconds",
+                    })?;
+                    if !(ms > 0.0 && ms.is_finite()) {
+                        return Err(ParseArgsError::BadValue {
+                            flag: "--l-ms",
+                            value: raw,
+                            expected: "a positive number of milliseconds",
+                        });
+                    }
+                    options.quantum = SimDuration::from_millis_f64(ms);
+                }
+                "--deterministic" => options.deterministic = true,
+                "--setpoint" => {
+                    let raw = value_for("--setpoint")?;
+                    let c: f64 = raw.parse().map_err(|_| ParseArgsError::BadValue {
+                        flag: "--setpoint",
+                        value: raw.clone(),
+                        expected: "a temperature in celsius",
+                    })?;
+                    options.setpoint = Some(c);
+                }
+                "--duration-secs" => {
+                    let raw = value_for("--duration-secs")?;
+                    let s: u64 = raw.parse().map_err(|_| ParseArgsError::BadValue {
+                        flag: "--duration-secs",
+                        value: raw.clone(),
+                        expected: "a positive integer",
+                    })?;
+                    if s == 0 {
+                        return Err(ParseArgsError::BadValue {
+                            flag: "--duration-secs",
+                            value: raw,
+                            expected: "a positive integer",
+                        });
+                    }
+                    options.duration = SimDuration::from_secs(s);
+                }
+                "--scheduler" => {
+                    let raw = value_for("--scheduler")?;
+                    options.scheduler = match raw.as_str() {
+                        "bsd" => SchedulerChoice::Bsd,
+                        "ule" => SchedulerChoice::Ule,
+                        _ => {
+                            return Err(ParseArgsError::BadValue {
+                                flag: "--scheduler",
+                                value: raw,
+                                expected: "bsd | ule",
+                            })
+                        }
+                    };
+                }
+                "--smt" => options.smt = true,
+                "--placement" => options.placement = true,
+                "--trace" => {
+                    let raw = value_for("--trace")?;
+                    let n: usize = raw.parse().map_err(|_| ParseArgsError::BadValue {
+                        flag: "--trace",
+                        value: raw.clone(),
+                        expected: "a positive record count",
+                    })?;
+                    if n == 0 {
+                        return Err(ParseArgsError::BadValue {
+                            flag: "--trace",
+                            value: raw,
+                            expected: "a positive record count",
+                        });
+                    }
+                    options.trace = Some(n);
+                }
+                "--profile" => {
+                    options.profile_path = Some(value_for("--profile")?);
+                    options.workload = WorkloadChoice::Profile;
+                }
+                "--seed" => {
+                    let raw = value_for("--seed")?;
+                    options.seed = raw.parse().map_err(|_| ParseArgsError::BadValue {
+                        flag: "--seed",
+                        value: raw,
+                        expected: "an unsigned integer",
+                    })?;
+                }
+                "--help" | "-h" => return Err(ParseArgsError::HelpRequested),
+                other => return Err(ParseArgsError::UnknownFlag(other.to_string())),
+            }
+        }
+        Ok(options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn defaults() {
+        let o = Options::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(o, Options::default());
+    }
+
+    #[test]
+    fn full_command_line() {
+        let o = Options::parse([
+            "--workload", "gcc", "--p", "0.5", "--l-ms", "10", "--deterministic",
+            "--duration-secs", "60", "--scheduler", "ule", "--smt", "--placement",
+            "--seed", "7",
+        ])
+        .unwrap();
+        assert_eq!(o.workload, WorkloadChoice::Spec(SpecBenchmark::Gcc));
+        assert_eq!(o.p, Some(0.5));
+        assert_eq!(o.quantum, SimDuration::from_millis(10));
+        assert!(o.deterministic);
+        assert_eq!(o.duration, SimDuration::from_secs(60));
+        assert_eq!(o.scheduler, SchedulerChoice::Ule);
+        assert!(o.smt && o.placement);
+        assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn workload_names() {
+        assert_eq!(
+            Options::parse(["--workload", "web"]).unwrap().workload,
+            WorkloadChoice::Web
+        );
+        assert_eq!(
+            Options::parse(["--workload", "mix"]).unwrap().workload,
+            WorkloadChoice::Mix
+        );
+        assert!(matches!(
+            Options::parse(["--workload", "nope"]),
+            Err(ParseArgsError::BadValue { flag: "--workload", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_p() {
+        assert!(matches!(
+            Options::parse(["--p", "1.0"]),
+            Err(ParseArgsError::BadValue { flag: "--p", .. })
+        ));
+        assert!(matches!(
+            Options::parse(["--p", "-0.1"]),
+            Err(ParseArgsError::BadValue { flag: "--p", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_values_and_unknown_flags() {
+        assert_eq!(
+            Options::parse(["--p"]),
+            Err(ParseArgsError::MissingValue { flag: "--p" })
+        );
+        assert_eq!(
+            Options::parse(["--frobnicate"]),
+            Err(ParseArgsError::UnknownFlag("--frobnicate".into()))
+        );
+    }
+
+    #[test]
+    fn help_is_reported() {
+        assert_eq!(Options::parse(["--help"]), Err(ParseArgsError::HelpRequested));
+        assert_eq!(Options::parse(["-h"]), Err(ParseArgsError::HelpRequested));
+        assert!(USAGE.contains("--workload"));
+    }
+
+    #[test]
+    fn trace_and_profile_parse() {
+        let o = Options::parse(["--trace", "50"]).unwrap();
+        assert_eq!(o.trace, Some(50));
+        assert!(matches!(
+            Options::parse(["--trace", "0"]),
+            Err(ParseArgsError::BadValue { flag: "--trace", .. })
+        ));
+        let o = Options::parse(["--profile", "app.profile"]).unwrap();
+        assert_eq!(o.workload, WorkloadChoice::Profile);
+        assert_eq!(o.profile_path.as_deref(), Some("app.profile"));
+    }
+
+    #[test]
+    fn setpoint_parses() {
+        let o = Options::parse(["--setpoint", "45.5"]).unwrap();
+        assert_eq!(o.setpoint, Some(45.5));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ParseArgsError::BadValue {
+            flag: "--p",
+            value: "2".into(),
+            expected: "a number in [0, 1)",
+        };
+        assert!(e.to_string().contains("--p"));
+        assert!(ParseArgsError::MissingValue { flag: "--seed" }
+            .to_string()
+            .contains("--seed"));
+    }
+
+    proptest! {
+        /// Any valid p round-trips through parsing.
+        #[test]
+        fn prop_p_roundtrip(p in 0.0f64..0.999) {
+            let o = Options::parse(["--p", &p.to_string()]).unwrap();
+            prop_assert!((o.p.unwrap() - p).abs() < 1e-12);
+        }
+
+        /// Any seed round-trips.
+        #[test]
+        fn prop_seed_roundtrip(seed in any::<u64>()) {
+            let o = Options::parse(["--seed", &seed.to_string()]).unwrap();
+            prop_assert_eq!(o.seed, seed);
+        }
+    }
+}

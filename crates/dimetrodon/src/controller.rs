@@ -1,0 +1,192 @@
+//! Closed-loop preventive thermal control (beyond-the-paper extension).
+//!
+//! The paper evaluates *static* `(p, L)` policies and notes that idle
+//! cycle injection "can be adjusted online according to the thermal
+//! profile and performance constraints of the application" (§2). This
+//! module supplies that deployment mode: a [`SetpointController`] wraps
+//! the [`DimetrodonHook`] and adapts the global injection probability once
+//! per tick so the mean core temperature tracks a setpoint.
+//!
+//! The controller is a clamped integral controller on `p`: steady-state
+//! error-free for constant loads, and intrinsically bounded because `p`
+//! lives in `[0, p_max]`.
+
+use dimetrodon_machine::Machine;
+use dimetrodon_sched::{Decision, SchedHook, ScheduleContext};
+use dimetrodon_sim_core::{SimDuration, SimTime};
+
+use crate::hook::DimetrodonHook;
+use crate::policy::InjectionParams;
+
+/// An integral controller that adapts the global injection probability to
+/// hold the mean core temperature at a setpoint.
+///
+/// # Examples
+///
+/// ```
+/// use dimetrodon::{DimetrodonHook, PolicyHandle, SetpointController};
+/// use dimetrodon_sim_core::SimDuration;
+///
+/// let policy = PolicyHandle::new();
+/// let hook = DimetrodonHook::new(policy, 42);
+/// let controller = SetpointController::new(
+///     hook,
+///     45.0,                            // °C setpoint
+///     SimDuration::from_millis(25),    // idle quantum L
+/// );
+/// assert_eq!(controller.setpoint(), 45.0);
+/// ```
+#[derive(Debug)]
+pub struct SetpointController {
+    inner: DimetrodonHook,
+    setpoint_celsius: f64,
+    quantum: SimDuration,
+    /// Integral gain: Δp per °C of error per tick.
+    gain: f64,
+    p_max: f64,
+    p: f64,
+}
+
+impl SetpointController {
+    /// Default integral gain (Δp per °C error per tick).
+    pub const DEFAULT_GAIN: f64 = 0.02;
+    /// Default upper bound on the controlled probability.
+    pub const DEFAULT_P_MAX: f64 = 0.9;
+
+    /// Creates a controller around a hook, targeting `setpoint_celsius`
+    /// with idle quanta of length `quantum`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero or `setpoint_celsius` is not finite.
+    pub fn new(inner: DimetrodonHook, setpoint_celsius: f64, quantum: SimDuration) -> Self {
+        assert!(!quantum.is_zero(), "idle quantum must be positive");
+        assert!(setpoint_celsius.is_finite(), "setpoint must be finite");
+        SetpointController {
+            inner,
+            setpoint_celsius,
+            quantum,
+            gain: Self::DEFAULT_GAIN,
+            p_max: Self::DEFAULT_P_MAX,
+            p: 0.0,
+        }
+    }
+
+    /// Overrides the integral gain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gain` is not positive and finite.
+    pub fn with_gain(mut self, gain: f64) -> Self {
+        assert!(gain > 0.0 && gain.is_finite(), "gain must be positive");
+        self.gain = gain;
+        self
+    }
+
+    /// The temperature setpoint, °C.
+    pub fn setpoint(&self) -> f64 {
+        self.setpoint_celsius
+    }
+
+    /// The currently commanded injection probability.
+    pub fn current_p(&self) -> f64 {
+        self.p
+    }
+
+    /// The wrapped hook (for its counters).
+    pub fn hook(&self) -> &DimetrodonHook {
+        &self.inner
+    }
+}
+
+impl SchedHook for SetpointController {
+    fn on_schedule(&mut self, ctx: &ScheduleContext<'_>) -> Decision {
+        self.inner.on_schedule(ctx)
+    }
+
+    fn on_tick(&mut self, now: SimTime, machine: &Machine) {
+        let error = machine.mean_core_temperature() - self.setpoint_celsius;
+        self.p = (self.p + self.gain * error).clamp(0.0, self.p_max);
+        let params = if self.p > 0.0 {
+            Some(InjectionParams::new(self.p, self.quantum))
+        } else {
+            None
+        };
+        self.inner.policy().set_global(params);
+        self.inner.on_tick(now, machine);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyHandle;
+    use dimetrodon_machine::{Machine, MachineConfig};
+    use dimetrodon_sched::{Spin, System, ThreadKind};
+
+    fn controlled_system(setpoint: f64) -> (System, PolicyHandle) {
+        let machine = Machine::new(MachineConfig::xeon_e5520()).unwrap();
+        let policy = PolicyHandle::new();
+        let hook = DimetrodonHook::new(policy.clone(), 11);
+        let controller =
+            SetpointController::new(hook, setpoint, SimDuration::from_millis(25));
+        let mut system = System::new(machine);
+        system.machine_mut().settle_idle();
+        system.set_hook(Box::new(controller));
+        for _ in 0..4 {
+            system.spawn(ThreadKind::User, Box::new(Spin::new(1.0)));
+        }
+        (system, policy)
+    }
+
+    #[test]
+    fn tracks_setpoint_under_full_load() {
+        // Unconstrained full load settles well above 45 C; the controller
+        // should hold the mean near the setpoint.
+        let (mut system, _policy) = controlled_system(45.0);
+        system.run_until(SimTime::from_secs(240));
+        let tail = system
+            .mean_temp_series()
+            .mean_over(SimTime::from_secs(180))
+            .unwrap();
+        assert!((43.0..47.0).contains(&tail), "tail mean {tail}");
+    }
+
+    #[test]
+    fn stays_off_when_already_cool() {
+        // Setpoint far above anything the load can reach: p must stay 0
+        // and throughput must be unimpaired.
+        let (mut system, policy) = controlled_system(90.0);
+        system.run_until(SimTime::from_secs(60));
+        assert_eq!(policy.global(), None);
+        let id = system.thread_ids().next().unwrap();
+        let share = system.thread_stats(id).cpu_executed.as_secs_f64() / 60.0;
+        assert!(share > 0.98, "share {share}");
+    }
+
+    #[test]
+    fn p_saturates_at_p_max() {
+        // Unreachable setpoint below idle temperature: p climbs to the cap
+        // and no further.
+        let (mut system, policy) = controlled_system(10.0);
+        system.run_until(SimTime::from_secs(120));
+        let p = policy.global().expect("policy active").p();
+        assert!((SetpointController::DEFAULT_P_MAX - p).abs() < 1e-9, "p {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "gain must be positive")]
+    fn bad_gain_panics() {
+        let hook = DimetrodonHook::new(PolicyHandle::new(), 0);
+        let _ = SetpointController::new(hook, 45.0, SimDuration::from_millis(25)).with_gain(0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let hook = DimetrodonHook::new(PolicyHandle::new(), 0);
+        let c = SetpointController::new(hook, 45.0, SimDuration::from_millis(25));
+        assert_eq!(c.setpoint(), 45.0);
+        assert_eq!(c.current_p(), 0.0);
+        assert_eq!(c.hook().decisions(), 0);
+    }
+}

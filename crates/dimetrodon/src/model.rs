@@ -1,0 +1,239 @@
+//! The paper's analytical throughput and power models (§2.2).
+//!
+//! For a CPU-bound thread with real runtime `R`, average scheduling
+//! quantum `q`, injection probability `p`, and idle quantum `L`:
+//!
+//! * predicted runtime under Dimetrodon:
+//!   `D(t) = R + S · p/(1−p) · L` with `S = R / q`;
+//! * energy equivalence with race-to-idle: both policies consume
+//!   `u·R + m·t_idle` joules over comparable windows (idle cycles are
+//!   merely moved from after the computation to between quanta).
+//!
+//! All durations here are plain `f64` seconds: these are closed-form
+//! predictions compared against simulated measurements, not simulation
+//! state.
+
+/// Predicted wall-clock runtime `D(t)` of a CPU-bound thread under
+/// injection (§2.2).
+///
+/// # Panics
+///
+/// Panics if `runtime` or `quantum` is not positive, `p` is outside
+/// `[0, 1)`, or `idle_quantum` is negative.
+///
+/// # Examples
+///
+/// ```
+/// use dimetrodon::model::predicted_runtime;
+///
+/// // The paper's p = 50%, L = one timeslice example: runtime doubles.
+/// let d = predicted_runtime(10.0, 0.1, 0.5, 0.1);
+/// assert!((d - 20.0).abs() < 1e-12);
+/// ```
+pub fn predicted_runtime(runtime: f64, quantum: f64, p: f64, idle_quantum: f64) -> f64 {
+    assert!(runtime > 0.0 && runtime.is_finite(), "runtime must be positive");
+    assert!(quantum > 0.0 && quantum.is_finite(), "quantum must be positive");
+    assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
+    assert!(idle_quantum >= 0.0 && idle_quantum.is_finite(), "idle quantum must be non-negative");
+    let schedulings = runtime / quantum; // the paper's S
+    runtime + schedulings * (p / (1.0 - p)) * idle_quantum
+}
+
+/// Predicted throughput relative to unconstrained execution,
+/// `R / D(t) = 1 / (1 + (p/(1−p)) · L/q)` in `(0, 1]`.
+///
+/// # Panics
+///
+/// As [`predicted_runtime`].
+pub fn predicted_throughput(quantum: f64, p: f64, idle_quantum: f64) -> f64 {
+    // Any positive R cancels; use 1.
+    1.0 / predicted_runtime(1.0, quantum, p, idle_quantum)
+}
+
+/// Predicted throughput *reduction* (the paper's x-axis quantity),
+/// `1 − R/D(t)` in `[0, 1)`.
+///
+/// # Panics
+///
+/// As [`predicted_runtime`].
+pub fn predicted_throughput_reduction(quantum: f64, p: f64, idle_quantum: f64) -> f64 {
+    1.0 - predicted_throughput(quantum, p, idle_quantum)
+}
+
+/// The `(p, L)` pair's total injected idle time for a thread of runtime
+/// `runtime`, in seconds.
+pub fn predicted_idle_time(runtime: f64, quantum: f64, p: f64, idle_quantum: f64) -> f64 {
+    predicted_runtime(runtime, quantum, p, idle_quantum) - runtime
+}
+
+/// Energy consumed under Dimetrodon over the thread's (stretched)
+/// execution: `u·R + (L/q)·(p/(1−p))·m·R` joules (§2.2), where `u` is
+/// active power and `m` idle power.
+///
+/// # Panics
+///
+/// Panics if a power is negative, or as [`predicted_runtime`] for the
+/// remaining parameters.
+pub fn dimetrodon_energy(
+    active_watts: f64,
+    idle_watts: f64,
+    runtime: f64,
+    quantum: f64,
+    p: f64,
+    idle_quantum: f64,
+) -> f64 {
+    assert!(active_watts >= 0.0 && idle_watts >= 0.0, "powers must be non-negative");
+    let idle_time = predicted_idle_time(runtime, quantum, p, idle_quantum);
+    active_watts * runtime + idle_watts * idle_time
+}
+
+/// Energy consumed by race-to-idle over a window of length `window`
+/// seconds containing `runtime` seconds of execution: `u·R + m·(window−R)`
+/// joules (§2.2).
+///
+/// # Panics
+///
+/// Panics if powers are negative or `window < runtime`.
+pub fn race_to_idle_energy(
+    active_watts: f64,
+    idle_watts: f64,
+    runtime: f64,
+    window: f64,
+) -> f64 {
+    assert!(active_watts >= 0.0 && idle_watts >= 0.0, "powers must be non-negative");
+    assert!(
+        window >= runtime,
+        "window ({window}) must contain the runtime ({runtime})"
+    );
+    active_watts * runtime + idle_watts * (window - runtime)
+}
+
+/// Solves for the probability `p` that yields a target throughput
+/// reduction at a given `L/q` ratio — the planning inverse of
+/// [`predicted_throughput_reduction`]. Returns `None` if the target is
+/// unreachable (`target >= 1`).
+///
+/// # Panics
+///
+/// Panics if `target` is negative or `l_over_q` is not positive.
+pub fn p_for_throughput_reduction(target: f64, l_over_q: f64) -> Option<f64> {
+    assert!(target >= 0.0, "target reduction must be non-negative");
+    assert!(l_over_q > 0.0 && l_over_q.is_finite(), "L/q must be positive");
+    if target >= 1.0 {
+        return None;
+    }
+    // target = 1 - 1/(1 + x·L/q) with x = p/(1-p)
+    // => x = target / ((1-target)·L/q); p = x/(1+x).
+    let x = target / ((1.0 - target) * l_over_q);
+    Some(x / (1.0 + x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // p = 75%: three idle quanta per executed quantum. With q = L,
+        // runtime quadruples.
+        let d = predicted_runtime(8.0, 0.1, 0.75, 0.1);
+        assert!((d - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_p_is_identity() {
+        assert_eq!(predicted_runtime(5.0, 0.1, 0.0, 0.1), 5.0);
+        assert_eq!(predicted_throughput(0.1, 0.0, 0.1), 1.0);
+        assert_eq!(predicted_throughput_reduction(0.1, 0.0, 0.1), 0.0);
+    }
+
+    #[test]
+    fn shorter_idle_quantum_recovers_latency() {
+        // §2.2: "Decreasing L can gain back some of the latency loss."
+        let long = predicted_runtime(10.0, 0.1, 0.5, 0.1);
+        let short = predicted_runtime(10.0, 0.1, 0.5, 0.025);
+        assert!(short < long);
+    }
+
+    #[test]
+    fn energies_match_between_policies() {
+        // §2.2: "The two policies consume the same amount of total
+        // energy" when race-to-idle's window equals D(t).
+        let (u, m, r, q, p, l) = (70.0, 12.0, 7.0, 0.1, 0.5, 0.05);
+        let d = predicted_runtime(r, q, p, l);
+        let dim = dimetrodon_energy(u, m, r, q, p, l);
+        let rti = race_to_idle_energy(u, m, r, d);
+        assert!((dim - rti).abs() < 1e-9, "{dim} vs {rti}");
+    }
+
+    #[test]
+    fn inverse_solves_for_p() {
+        let p = p_for_throughput_reduction(0.5, 1.0).unwrap();
+        // p/(1-p)·1 = 1 => p = 0.5.
+        assert!((p - 0.5).abs() < 1e-12);
+        assert_eq!(p_for_throughput_reduction(1.0, 1.0), None);
+        assert_eq!(p_for_throughput_reduction(0.0, 1.0), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0, 1)")]
+    fn p_of_one_panics() {
+        predicted_runtime(1.0, 0.1, 1.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn race_to_idle_window_too_small_panics() {
+        race_to_idle_energy(70.0, 12.0, 10.0, 5.0);
+    }
+
+    proptest! {
+        /// D(t) >= R always, with equality iff no injection.
+        #[test]
+        fn prop_runtime_never_shrinks(
+            r in 0.1f64..100.0, q in 0.001f64..1.0,
+            p in 0.0f64..0.95, l in 0.0f64..1.0,
+        ) {
+            let d = predicted_runtime(r, q, p, l);
+            prop_assert!(d >= r - 1e-12);
+            if p > 0.0 && l > 0.0 {
+                prop_assert!(d > r);
+            }
+        }
+
+        /// Throughput reduction is monotone in p and in L.
+        #[test]
+        fn prop_reduction_monotone(
+            q in 0.001f64..1.0, p in 0.0f64..0.9, l in 0.001f64..1.0,
+            dp in 0.001f64..0.05, dl in 0.001f64..0.5,
+        ) {
+            let base = predicted_throughput_reduction(q, p, l);
+            prop_assert!(predicted_throughput_reduction(q, p + dp, l) > base);
+            prop_assert!(predicted_throughput_reduction(q, p.max(0.01), l + dl)
+                >= predicted_throughput_reduction(q, p.max(0.01), l));
+        }
+
+        /// The inverse round-trips: reduction(p_for(target)) == target.
+        #[test]
+        fn prop_inverse_roundtrip(target in 0.0f64..0.95, l_over_q in 0.01f64..10.0) {
+            let p = p_for_throughput_reduction(target, l_over_q).unwrap();
+            prop_assert!((0.0..1.0).contains(&p));
+            let got = predicted_throughput_reduction(1.0, p, l_over_q);
+            prop_assert!((got - target).abs() < 1e-9, "got {} want {}", got, target);
+        }
+
+        /// Energy equivalence holds for all parameters.
+        #[test]
+        fn prop_energy_equivalence(
+            u in 1.0f64..200.0, m in 0.0f64..50.0,
+            r in 0.1f64..100.0, q in 0.001f64..1.0,
+            p in 0.0f64..0.95, l in 0.0f64..1.0,
+        ) {
+            let d = predicted_runtime(r, q, p, l);
+            let dim = dimetrodon_energy(u, m, r, q, p, l);
+            let rti = race_to_idle_energy(u, m, r, d);
+            prop_assert!((dim - rti).abs() < 1e-6 * dim.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Injection policies and the per-thread policy control interface.
+//!
+//! The paper controls Dimetrodon "using system calls" (§3.1); the
+//! equivalent here is a [`PolicyHandle`] — a shared, cloneable handle to
+//! the live policy table that the experiment harness mutates while the
+//! hook consults it at every scheduling decision. Policies are resolved
+//! per thread: an explicit per-thread entry overrides the global default,
+//! and kernel threads are exempt unless that is switched off (the paper's
+//! "we always schedule kernel-level threads" default).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use dimetrodon_sim_core::SimDuration;
+use dimetrodon_sched::{ThreadId, ThreadKind};
+
+/// The two knobs of idle cycle injection: the probability `p` that a
+/// scheduling decision is replaced by an idle quantum, and the quantum
+/// length `L` (§2.2).
+///
+/// # Examples
+///
+/// ```
+/// use dimetrodon::InjectionParams;
+/// use dimetrodon_sim_core::SimDuration;
+///
+/// let params = InjectionParams::new(0.5, SimDuration::from_millis(100));
+/// assert_eq!(params.p(), 0.5);
+/// // Expected idle quanta per execution quantum: p/(1-p).
+/// assert_eq!(params.idle_ratio(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectionParams {
+    p: f64,
+    quantum: SimDuration,
+}
+
+impl InjectionParams {
+    /// Creates injection parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1)` (`p = 1` would starve the thread
+    /// forever) or `quantum` is zero.
+    pub fn new(p: f64, quantum: SimDuration) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "injection probability must be in [0, 1), got {p}"
+        );
+        assert!(!quantum.is_zero(), "idle quantum must be positive");
+        InjectionParams { p, quantum }
+    }
+
+    /// The injection probability `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The idle quantum length `L`.
+    pub fn quantum(&self) -> SimDuration {
+        self.quantum
+    }
+
+    /// Expected idle quanta per execution quantum, `p / (1 − p)`.
+    pub fn idle_ratio(&self) -> f64 {
+        self.p / (1.0 - self.p)
+    }
+}
+
+impl fmt::Display for InjectionParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p={:.2}, L={}", self.p, self.quantum)
+    }
+}
+
+/// How injection decisions are drawn from `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InjectionModel {
+    /// Independent Bernoulli(p) trials — the paper's implementation.
+    /// "We express the proportion of idle periods as a probability; this
+    /// is not the only possible injection model, however it simplifies our
+    /// analysis and implementation" (§2).
+    #[default]
+    Probabilistic,
+    /// Deterministic error-diffusion: exactly a fraction `p` of decisions
+    /// inject, evenly spaced. The paper conjectures this "would likely
+    /// result in smoother curves but with similar overall temperature
+    /// trends" (§3.4); the reproduction's ablation bench tests that claim.
+    Deterministic,
+}
+
+/// The live policy table: global default, per-thread overrides, and the
+/// kernel-thread exemption.
+#[derive(Debug, Default)]
+pub struct PolicyTable {
+    global: Option<InjectionParams>,
+    per_thread: HashMap<ThreadId, Option<InjectionParams>>,
+    inject_kernel_threads: bool,
+}
+
+impl PolicyTable {
+    /// An empty table: no injection anywhere, kernel threads exempt.
+    pub fn new() -> Self {
+        PolicyTable::default()
+    }
+
+    /// Sets (or clears) the global default applied to threads without an
+    /// override.
+    pub fn set_global(&mut self, params: Option<InjectionParams>) {
+        self.global = params;
+    }
+
+    /// Sets a per-thread override. `Some(params)` injects with those
+    /// parameters; `None` explicitly exempts the thread even when a global
+    /// default is in force.
+    pub fn set_thread(&mut self, thread: ThreadId, params: Option<InjectionParams>) {
+        self.per_thread.insert(thread, params);
+    }
+
+    /// Removes a per-thread override, returning the thread to the global
+    /// default.
+    pub fn clear_thread(&mut self, thread: ThreadId) {
+        self.per_thread.remove(&thread);
+    }
+
+    /// Whether kernel threads may be injected (default: no, per §3.1).
+    pub fn set_inject_kernel_threads(&mut self, yes: bool) {
+        self.inject_kernel_threads = yes;
+    }
+
+    /// Resolves the effective parameters for a scheduling decision.
+    pub fn resolve(&self, thread: ThreadId, kind: ThreadKind) -> Option<InjectionParams> {
+        if kind == ThreadKind::Kernel && !self.inject_kernel_threads {
+            return None;
+        }
+        match self.per_thread.get(&thread) {
+            Some(overridden) => *overridden,
+            None => self.global,
+        }
+    }
+}
+
+/// A shared, cloneable handle to a [`PolicyTable`] — the reproduction's
+/// stand-in for the paper's control system calls.
+///
+/// Clone the handle freely: all clones view and mutate the same table, so
+/// an experiment can adjust policy while the simulation runs.
+///
+/// # Examples
+///
+/// ```
+/// use dimetrodon::{InjectionParams, PolicyHandle};
+/// use dimetrodon_sched::{ThreadId, ThreadKind};
+/// use dimetrodon_sim_core::SimDuration;
+///
+/// let handle = PolicyHandle::new();
+/// handle.set_global(Some(InjectionParams::new(0.25, SimDuration::from_millis(50))));
+/// // The "cool" thread is exempted by an explicit override.
+/// handle.set_thread(ThreadId(3), None);
+///
+/// assert!(handle.resolve(ThreadId(0), ThreadKind::User).is_some());
+/// assert!(handle.resolve(ThreadId(3), ThreadKind::User).is_none());
+/// // Kernel threads are exempt by default.
+/// assert!(handle.resolve(ThreadId(0), ThreadKind::Kernel).is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PolicyHandle {
+    table: Rc<RefCell<PolicyTable>>,
+}
+
+impl PolicyHandle {
+    /// Creates a handle to a fresh, empty policy table.
+    pub fn new() -> Self {
+        PolicyHandle::default()
+    }
+
+    /// See [`PolicyTable::set_global`].
+    pub fn set_global(&self, params: Option<InjectionParams>) {
+        self.table.borrow_mut().set_global(params);
+    }
+
+    /// See [`PolicyTable::set_thread`].
+    pub fn set_thread(&self, thread: ThreadId, params: Option<InjectionParams>) {
+        self.table.borrow_mut().set_thread(thread, params);
+    }
+
+    /// See [`PolicyTable::clear_thread`].
+    pub fn clear_thread(&self, thread: ThreadId) {
+        self.table.borrow_mut().clear_thread(thread);
+    }
+
+    /// See [`PolicyTable::set_inject_kernel_threads`].
+    pub fn set_inject_kernel_threads(&self, yes: bool) {
+        self.table.borrow_mut().set_inject_kernel_threads(yes);
+    }
+
+    /// See [`PolicyTable::resolve`].
+    pub fn resolve(&self, thread: ThreadId, kind: ThreadKind) -> Option<InjectionParams> {
+        self.table.borrow().resolve(thread, kind)
+    }
+
+    /// The current global default.
+    pub fn global(&self) -> Option<InjectionParams> {
+        self.table.borrow().global
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(p: f64, l_ms: u64) -> InjectionParams {
+        InjectionParams::new(p, SimDuration::from_millis(l_ms))
+    }
+
+    #[test]
+    fn idle_ratio_matches_paper_example() {
+        // "if we idle with probability 75%, then 3 out of 4 times t is
+        // scheduled we will idle instead" — 3 idle quanta per executed.
+        assert!((params(0.75, 100).idle_ratio() - 3.0).abs() < 1e-12);
+        assert_eq!(params(0.0, 100).idle_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0, 1)")]
+    fn p_of_one_rejected() {
+        params(1.0, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle quantum must be positive")]
+    fn zero_quantum_rejected() {
+        InjectionParams::new(0.5, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn table_resolution_precedence() {
+        let mut t = PolicyTable::new();
+        assert_eq!(t.resolve(ThreadId(1), ThreadKind::User), None);
+
+        t.set_global(Some(params(0.5, 100)));
+        assert_eq!(t.resolve(ThreadId(1), ThreadKind::User), Some(params(0.5, 100)));
+
+        // Per-thread override wins over global.
+        t.set_thread(ThreadId(1), Some(params(0.75, 25)));
+        assert_eq!(t.resolve(ThreadId(1), ThreadKind::User), Some(params(0.75, 25)));
+
+        // Explicit None exempts despite the global default.
+        t.set_thread(ThreadId(2), None);
+        assert_eq!(t.resolve(ThreadId(2), ThreadKind::User), None);
+
+        // Clearing restores the global default.
+        t.clear_thread(ThreadId(1));
+        assert_eq!(t.resolve(ThreadId(1), ThreadKind::User), Some(params(0.5, 100)));
+    }
+
+    #[test]
+    fn kernel_threads_exempt_by_default() {
+        let mut t = PolicyTable::new();
+        t.set_global(Some(params(0.5, 100)));
+        t.set_thread(ThreadId(7), Some(params(0.75, 50)));
+        assert_eq!(t.resolve(ThreadId(7), ThreadKind::Kernel), None);
+        t.set_inject_kernel_threads(true);
+        assert_eq!(t.resolve(ThreadId(7), ThreadKind::Kernel), Some(params(0.75, 50)));
+    }
+
+    #[test]
+    fn handle_clones_share_state() {
+        let a = PolicyHandle::new();
+        let b = a.clone();
+        a.set_global(Some(params(0.25, 10)));
+        assert_eq!(b.global(), Some(params(0.25, 10)));
+        b.set_global(None);
+        assert_eq!(a.global(), None);
+    }
+
+    #[test]
+    fn display_params() {
+        assert_eq!(params(0.5, 100).to_string(), "p=0.50, L=100.000ms");
+    }
+}

@@ -1,0 +1,116 @@
+//! Figure 2: average core temperature rise over idle during five minutes
+//! of cpuburn, for idle proportions p ∈ {0, .25, .5, .75} at L = 100 ms.
+//!
+//! The curves order by `p` (more injection, less rise), fluctuate because
+//! the implementation is probabilistic, and stabilise within the run.
+
+use dimetrodon::{InjectionModel, InjectionParams};
+use dimetrodon_sim_core::SimDuration;
+
+use crate::runner::{characterize, Actuation, RunConfig, SaturatingWorkload};
+
+/// The injection proportions the paper plots.
+pub const PROPORTIONS: [f64; 4] = [0.0, 0.25, 0.5, 0.75];
+
+/// One curve of Figure 2.
+#[derive(Debug, Clone)]
+pub struct Fig2Curve {
+    /// The injection probability this curve used.
+    pub p: f64,
+    /// `(seconds, °C rise over idle)` samples of the mean core
+    /// temperature.
+    pub rise: Vec<(f64, f64)>,
+    /// Mean rise over the tail measurement window, °C.
+    pub tail_rise: f64,
+}
+
+/// All four curves.
+#[derive(Debug, Clone)]
+pub struct Fig2Data {
+    /// One curve per entry of [`PROPORTIONS`].
+    pub curves: Vec<Fig2Curve>,
+    /// The idle temperature the rises are relative to, °C.
+    pub idle_temp: f64,
+}
+
+/// Runs the Figure 2 experiment with the paper's L = 100 ms.
+pub fn run(config: RunConfig) -> Fig2Data {
+    let mut curves = Vec::new();
+    let mut idle_temp = 0.0;
+    for (i, &p) in PROPORTIONS.iter().enumerate() {
+        let actuation = if p == 0.0 {
+            Actuation::None
+        } else {
+            Actuation::Injection {
+                params: InjectionParams::new(p, SimDuration::from_millis(100)),
+                model: InjectionModel::Probabilistic,
+            }
+        };
+        let outcome = characterize(
+            SaturatingWorkload::CpuBurn,
+            actuation,
+            RunConfig {
+                seed: config.seed.wrapping_add(i as u64),
+                ..config
+            },
+        );
+        idle_temp = outcome.idle_temp;
+        curves.push(Fig2Curve {
+            p,
+            rise: outcome
+                .observed_curve
+                .iter()
+                .map(|&(t, v)| (t, v - outcome.idle_temp))
+                .collect(),
+            tail_rise: outcome.rise_over_idle(),
+        });
+    }
+    Fig2Data { curves, idle_temp }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_order_by_p() {
+        let data = run(RunConfig::quick(21));
+        assert_eq!(data.curves.len(), 4);
+        let rises: Vec<f64> = data.curves.iter().map(|c| c.tail_rise).collect();
+        for w in rises.windows(2) {
+            assert!(
+                w[0] > w[1],
+                "higher p must lower the tail rise: {rises:?}"
+            );
+        }
+        // Figure 2's scale: unconstrained rise around 20 °C, p = 0.75 well
+        // below half of it.
+        assert!((14.0..30.0).contains(&rises[0]), "p=0 rise {}", rises[0]);
+        assert!(rises[3] < rises[0] * 0.5, "p=.75 rise {}", rises[3]);
+    }
+
+    #[test]
+    fn probabilistic_curves_fluctuate() {
+        let data = run(RunConfig::quick(22));
+        // Sample-to-sample jitter (mean absolute first difference of the
+        // tail) separates fluctuation from the settling trend: the
+        // injected curves jump between hot and post-idle readings, the
+        // unconstrained one warms smoothly.
+        let tail_jitter = |curve: &Fig2Curve| {
+            let tail: Vec<f64> = curve
+                .rise
+                .iter()
+                .filter(|(t, _)| *t > 60.0)
+                .map(|&(_, r)| r)
+                .collect();
+            assert!(tail.len() > 10, "tail too short");
+            tail.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (tail.len() - 1) as f64
+        };
+        let smooth = tail_jitter(&data.curves[0]);
+        let noisy = tail_jitter(&data.curves[2]); // p = 0.5
+        assert!(
+            noisy > smooth * 2.0,
+            "probabilistic curve should fluctuate: jitter {noisy} vs {smooth}"
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! One module per table/figure of the paper's evaluation (§3).
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`fig1`] | Figure 1 — race-to-idle vs Dimetrodon power traces |
+//! | [`fig2`] | Figure 2 — temperature rise during cpuburn across `p` |
+//! | [`fig3`] | Figure 3 — efficiency vs quantum length |
+//! | [`fig4`] | Figure 4 — Dimetrodon vs VFS vs `p4tcc` sweeps |
+//! | [`fig5`] | Figure 5 — global vs thread-specific control |
+//! | [`fig6`] | Figure 6 — web-workload QoS vs temperature reduction |
+//! | [`table1`] | Table 1 — per-workload rises and `T(r) = α·r^β` fits |
+//! | [`validation`] | §3.3 — throughput-model and energy validations |
+//! | [`sensitivity`] | reproduction-specific: where Figure 3's knee comes from |
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod sensitivity;
+pub mod table1;
+pub mod validation;

@@ -1,0 +1,120 @@
+//! Sensitivity of the reproduction to its own calibration: where does
+//! Figure 3's efficiency knee come from?
+//!
+//! DESIGN.md §4.1 claims the knee in efficiency-vs-L sits at the hotspot
+//! time constant (and §3.4 of the paper puts the optimum "closer to the
+//! order of one ms"). This experiment sweeps the hotspot time constant
+//! and measures, for each, the quantum length at which efficiency has
+//! fallen to half its short-quantum value — if the model is honest, that
+//! half-efficiency length tracks the time constant.
+
+use dimetrodon::{InjectionModel, InjectionParams};
+use dimetrodon_machine::MachineConfig;
+use dimetrodon_sim_core::SimDuration;
+
+use crate::runner::{characterize_on, Actuation, RunConfig, SaturatingWorkload};
+
+/// One hotspot-time-constant configuration's efficiency curve.
+#[derive(Debug, Clone)]
+pub struct SensitivityRow {
+    /// The configured hotspot time constant, ms.
+    pub tau_ms: f64,
+    /// `(L_ms, efficiency)` points at p = 0.25.
+    pub curve: Vec<(u64, f64)>,
+}
+
+impl SensitivityRow {
+    /// The shortest measured quantum length, in ms, at which efficiency
+    /// has fallen to at most half the shortest-quantum efficiency —
+    /// a proxy for the knee. `None` if efficiency never halves in range.
+    pub fn half_efficiency_l_ms(&self) -> Option<u64> {
+        let peak = self.curve.first()?.1;
+        self.curve
+            .iter()
+            .find(|&&(_, e)| e <= peak / 2.0)
+            .map(|&(l, _)| l)
+    }
+}
+
+/// Default time constants swept (ms).
+pub const SWEEP_TAU_MS: [f64; 3] = [0.5, 1.5, 6.0];
+/// Quantum lengths measured (ms).
+pub const SWEEP_L_MS: [u64; 6] = [1, 2, 5, 10, 25, 100];
+
+/// Runs the hotspot-time-constant sensitivity sweep.
+pub fn run(config: RunConfig) -> Vec<SensitivityRow> {
+    run_subset(config, &SWEEP_TAU_MS, &SWEEP_L_MS)
+}
+
+/// Runs a subset of the sweep.
+pub fn run_subset(config: RunConfig, taus_ms: &[f64], quanta_ms: &[u64]) -> Vec<SensitivityRow> {
+    taus_ms
+        .iter()
+        .map(|&tau_ms| {
+            // Scale the hotspot capacitance to hit the requested time
+            // constant at the preset conductance, keeping the steady
+            // excess unchanged.
+            let mut machine_config = MachineConfig::xeon_e5520();
+            machine_config.thermal.hotspot_capacitance =
+                machine_config.thermal.hotspot_to_die * tau_ms / 1e3;
+
+            let base = characterize_on(
+                &machine_config,
+                SaturatingWorkload::CpuBurn,
+                Actuation::None,
+                config,
+            );
+            let curve = quanta_ms
+                .iter()
+                .map(|&l_ms| {
+                    let run = characterize_on(
+                        &machine_config,
+                        SaturatingWorkload::CpuBurn,
+                        Actuation::Injection {
+                            params: InjectionParams::new(
+                                0.25,
+                                SimDuration::from_millis(l_ms),
+                            ),
+                            model: InjectionModel::Probabilistic,
+                        },
+                        RunConfig {
+                            seed: config.seed.wrapping_add(l_ms),
+                            ..config
+                        },
+                    );
+                    let thr = run.throughput_reduction_vs(&base).max(1e-6);
+                    (l_ms, run.temp_reduction_vs(&base) / thr)
+                })
+                .collect();
+            SensitivityRow { tau_ms, curve }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knee_tracks_hotspot_time_constant() {
+        let rows = run_subset(
+            RunConfig::quick(91),
+            &[0.5, 6.0],
+            &[1, 2, 5, 10, 25, 100],
+        );
+        let fast = rows[0].half_efficiency_l_ms().expect("fast knee in range");
+        let slow = rows[1].half_efficiency_l_ms().expect("slow knee in range");
+        assert!(
+            slow > fast,
+            "a slower hotspot should push the knee to longer quanta: \
+             tau=0.5ms -> {fast} ms, tau=6ms -> {slow} ms"
+        );
+    }
+
+    #[test]
+    fn efficiency_declines_with_l_for_all_taus() {
+        let rows = run_subset(RunConfig::quick(92), &[1.5], &[1, 10, 100]);
+        let curve = &rows[0].curve;
+        assert!(curve[0].1 > curve[1].1 && curve[1].1 > curve[2].1, "{curve:?}");
+    }
+}

@@ -1,0 +1,407 @@
+//! The common experiment runner: build a system, apply an actuation,
+//! drive a workload, and take the paper's measurements.
+//!
+//! Measurement conventions follow §3.2–3.4:
+//!
+//! * **Temperature** is the mean core temperature averaged over the last
+//!   `measure_window` of the run (default: last 30 s of 300 s).
+//! * **Temperature reduction** is relative to the idle temperature:
+//!   `(T_unconstrained − T_policy) / (T_unconstrained − T_idle)`.
+//! * **Throughput** for saturating workloads is executed CPU time per
+//!   core-second; **throughput reduction** is relative to the
+//!   unconstrained run of the same workload.
+
+use dimetrodon::{DimetrodonHook, InjectionModel, InjectionParams, PolicyHandle};
+use dimetrodon_machine::{Machine, MachineConfig};
+use dimetrodon_power::PStateId;
+use dimetrodon_sched::{System, ThreadId, ThreadKind};
+use dimetrodon_sim_core::{SimDuration, SimTime, TimeSeries};
+use dimetrodon_workload::{CpuBurn, SpecBenchmark};
+
+/// Which thermal-management mechanism a run applies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Actuation {
+    /// Unconstrained execution (race-to-idle).
+    None,
+    /// Dimetrodon idle-cycle injection with the given parameters.
+    Injection {
+        /// The `(p, L)` policy.
+        params: InjectionParams,
+        /// Probabilistic (paper) or deterministic (ablation) drawing.
+        model: InjectionModel,
+    },
+    /// Chip-wide voltage/frequency scaling pinned at a P-state.
+    Vfs {
+        /// The operating point, 0 = fastest.
+        pstate: PStateId,
+    },
+    /// `p4tcc`-style clock duty cycling.
+    Tcc {
+        /// Clock duty in `(0, 1)`.
+        duty: f64,
+    },
+}
+
+/// Timing parameters of a characterisation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// Total simulated run length (the paper: 300 s).
+    pub duration: SimDuration,
+    /// Tail window over which temperature is averaged (the paper: 30 s).
+    pub measure_window: SimDuration,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// The paper's 300 s / 30 s setup.
+    pub fn paper(seed: u64) -> Self {
+        RunConfig {
+            duration: SimDuration::from_secs(300),
+            measure_window: SimDuration::from_secs(30),
+            seed,
+        }
+    }
+
+    /// A shortened setup for tests: long enough to approach steady state
+    /// on the calibrated machine (global time constant ≈ 60 s) without
+    /// the full five minutes.
+    pub fn quick(seed: u64) -> Self {
+        RunConfig {
+            duration: SimDuration::from_secs(150),
+            measure_window: SimDuration::from_secs(20),
+            seed,
+        }
+    }
+
+    fn measure_from(&self) -> SimTime {
+        SimTime::ZERO + (self.duration - self.measure_window)
+    }
+}
+
+/// What a characterisation run produced.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Idle (all-cores-idle steady state) mean die temperature, °C.
+    pub idle_temp: f64,
+    /// Mean core temperature over the tail measurement window, °C.
+    pub tail_temp: f64,
+    /// Executed CPU time per core-second of run, in `[0, 1]`.
+    pub throughput: f64,
+    /// The sampled (true, die-bulk) mean-core-temperature series of the
+    /// whole run — physical ground truth for diagnostics.
+    pub temp_series: TimeSeries,
+    /// The observed temperature curve: dispatch-point sensor readings
+    /// binned into one-second means — what the paper's monitor plots.
+    pub observed_curve: Vec<(f64, f64)>,
+    /// Total idle quanta injected.
+    pub injected_idles: u64,
+}
+
+impl RunOutcome {
+    /// Temperature rise over idle, °C.
+    pub fn rise_over_idle(&self) -> f64 {
+        self.tail_temp - self.idle_temp
+    }
+
+    /// The paper's relative temperature reduction versus an unconstrained
+    /// run: `(T_unconstrained − T_this) / (T_unconstrained − T_idle)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unconstrained run is not hotter than idle.
+    pub fn temp_reduction_vs(&self, unconstrained: &RunOutcome) -> f64 {
+        let denom = unconstrained.tail_temp - unconstrained.idle_temp;
+        assert!(
+            denom > 0.0,
+            "unconstrained run must rise above idle (rise = {denom})"
+        );
+        (unconstrained.tail_temp - self.tail_temp) / denom
+    }
+
+    /// Throughput reduction versus an unconstrained run, in `[0, 1]`.
+    pub fn throughput_reduction_vs(&self, unconstrained: &RunOutcome) -> f64 {
+        if unconstrained.throughput <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.throughput / unconstrained.throughput).max(0.0)
+    }
+}
+
+/// Builds a system on the standard test platform with the given actuation
+/// installed, returning the system and (for injection runs) the policy
+/// handle.
+pub fn build_system(actuation: Actuation, seed: u64) -> (System, Option<PolicyHandle>) {
+    build_system_on(&MachineConfig::xeon_e5520(), actuation, seed)
+}
+
+/// Builds a system on an explicit machine configuration (used by
+/// sensitivity and ablation studies that perturb the platform itself).
+pub fn build_system_on(
+    machine_config: &MachineConfig,
+    actuation: Actuation,
+    seed: u64,
+) -> (System, Option<PolicyHandle>) {
+    let mut machine = Machine::new(machine_config.clone()).expect("machine config is valid");
+    machine.settle_idle();
+    match actuation {
+        Actuation::None => (System::new(machine), None),
+        Actuation::Injection { params, model } => {
+            let policy = PolicyHandle::new();
+            policy.set_global(Some(params));
+            let mut system = System::new(machine);
+            system.set_hook(Box::new(DimetrodonHook::with_model(
+                policy.clone(),
+                model,
+                seed ^ 0xD13E,
+            )));
+            (system, Some(policy))
+        }
+        Actuation::Vfs { pstate } => {
+            machine.set_pstate(pstate);
+            (System::new(machine), None)
+        }
+        Actuation::Tcc { duty } => {
+            machine.set_tcc_duty(duty);
+            (System::new(machine), None)
+        }
+    }
+}
+
+/// The workloads the characterisation runner can drive, one instance per
+/// core (the paper "executed four instances of each benchmark in
+/// parallel", §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaturatingWorkload {
+    /// `cpuburn` (worst case).
+    CpuBurn,
+    /// A SPEC CPU2006-like profile.
+    Spec(SpecBenchmark),
+}
+
+impl SaturatingWorkload {
+    fn spawn_on(self, system: &mut System) -> Vec<ThreadId> {
+        let cores = system.machine().num_cores();
+        (0..cores)
+            .map(|_| match self {
+                SaturatingWorkload::CpuBurn => {
+                    system.spawn(ThreadKind::User, Box::new(CpuBurn::infinite()))
+                }
+                SaturatingWorkload::Spec(bench) => {
+                    system.spawn(ThreadKind::User, Box::new(bench.body()))
+                }
+            })
+            .collect()
+    }
+}
+
+/// Runs the §3.4 characterisation: one saturating workload instance per
+/// core under `actuation`, measuring tail temperature and throughput.
+pub fn characterize(
+    workload: SaturatingWorkload,
+    actuation: Actuation,
+    config: RunConfig,
+) -> RunOutcome {
+    characterize_on(&MachineConfig::xeon_e5520(), workload, actuation, config)
+}
+
+/// [`characterize`] on an explicit machine configuration.
+pub fn characterize_on(
+    machine_config: &MachineConfig,
+    workload: SaturatingWorkload,
+    actuation: Actuation,
+    config: RunConfig,
+) -> RunOutcome {
+    let (mut system, _policy) = build_system_on(machine_config, actuation, config.seed);
+    let idle_temp = system.machine().idle_temperature();
+    let ids = workload.spawn_on(&mut system);
+    system.run_until(SimTime::ZERO + config.duration);
+
+    // The paper's temperature metric: coretemp reads taken by the
+    // monitoring process, which land at scheduling boundaries.
+    let tail_temp = system
+        .observed_temp_over(config.measure_from())
+        .expect("run produced dispatch samples");
+    let executed: f64 = ids
+        .iter()
+        .map(|&id| system.thread_stats(id).cpu_executed.as_secs_f64())
+        .sum();
+    let cores = system.machine().num_cores() as f64;
+
+    // Bin all cores' dispatch readings into one-second means.
+    let total_secs = config.duration.as_secs_f64().ceil() as usize + 1;
+    let mut sums = vec![0.0f64; total_secs];
+    let mut counts = vec![0u32; total_secs];
+    for core in system.machine().core_ids().collect::<Vec<_>>() {
+        for (t, v) in system.dispatch_temp_series(core).iter() {
+            let bucket = t.as_secs_f64() as usize;
+            if bucket < total_secs {
+                sums[bucket] += v;
+                counts[bucket] += 1;
+            }
+        }
+    }
+    let observed_curve = sums
+        .iter()
+        .zip(&counts)
+        .enumerate()
+        .filter(|(_, (_, &c))| c > 0)
+        .map(|(sec, (&s, &c))| (sec as f64, s / c as f64))
+        .collect();
+
+    RunOutcome {
+        idle_temp,
+        tail_temp,
+        throughput: executed / (cores * config.duration.as_secs_f64()),
+        temp_series: system.mean_temp_series().clone(),
+        observed_curve,
+        injected_idles: system.total_injected_idles(),
+    }
+}
+
+/// A full trade-off measurement: runs the workload unconstrained and
+/// under `actuation`, returning `(temp_reduction, throughput_reduction)`.
+pub fn tradeoff(
+    workload: SaturatingWorkload,
+    actuation: Actuation,
+    config: RunConfig,
+) -> (f64, f64) {
+    let base = characterize(workload, Actuation::None, config);
+    let run = characterize(workload, actuation, config);
+    (
+        run.temp_reduction_vs(&base),
+        run.throughput_reduction_vs(&base),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RunConfig {
+        RunConfig {
+            duration: SimDuration::from_secs(100),
+            measure_window: SimDuration::from_secs(15),
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn unconstrained_cpuburn_saturates() {
+        let out = characterize(SaturatingWorkload::CpuBurn, Actuation::None, quick());
+        assert!(out.throughput > 0.99, "throughput {}", out.throughput);
+        assert!(out.rise_over_idle() > 10.0, "rise {}", out.rise_over_idle());
+        assert_eq!(out.injected_idles, 0);
+    }
+
+    #[test]
+    fn injection_reduces_temperature_and_throughput() {
+        let base = characterize(SaturatingWorkload::CpuBurn, Actuation::None, quick());
+        let inj = characterize(
+            SaturatingWorkload::CpuBurn,
+            Actuation::Injection {
+                params: InjectionParams::new(0.5, SimDuration::from_millis(100)),
+                model: InjectionModel::Probabilistic,
+            },
+            quick(),
+        );
+        let temp_red = inj.temp_reduction_vs(&base);
+        let thr_red = inj.throughput_reduction_vs(&base);
+        assert!((0.2..0.9).contains(&temp_red), "temp reduction {temp_red}");
+        assert!((0.3..0.65).contains(&thr_red), "throughput reduction {thr_red}");
+        assert!(inj.injected_idles > 100);
+    }
+
+    #[test]
+    fn vfs_reduces_both_superlinearly() {
+        let base = characterize(SaturatingWorkload::CpuBurn, Actuation::None, quick());
+        let vfs = characterize(
+            SaturatingWorkload::CpuBurn,
+            Actuation::Vfs { pstate: PStateId(5) },
+            quick(),
+        );
+        let thr_red = vfs.throughput_reduction_vs(&base);
+        let temp_red = vfs.temp_reduction_vs(&base);
+        // Speed drops to 1600/2266 => ~29% throughput reduction.
+        assert!((0.25..0.33).contains(&thr_red), "thr {thr_red}");
+        // The quadratic power benefit: temperature reduction well above
+        // the throughput cost (paper: ~50% at ~30%).
+        assert!(temp_red > thr_red, "temp {temp_red} vs thr {thr_red}");
+    }
+
+    #[test]
+    fn tcc_is_worse_than_one_to_one() {
+        let base = characterize(SaturatingWorkload::CpuBurn, Actuation::None, quick());
+        let tcc = characterize(
+            SaturatingWorkload::CpuBurn,
+            Actuation::Tcc { duty: 0.5 },
+            quick(),
+        );
+        let thr_red = tcc.throughput_reduction_vs(&base);
+        let temp_red = tcc.temp_reduction_vs(&base);
+        assert!(
+            temp_red < thr_red,
+            "p4tcc should be sub-1:1: temp {temp_red} vs thr {thr_red}"
+        );
+    }
+
+    #[test]
+    fn spec_profiles_run_cooler_than_cpuburn() {
+        let burn = characterize(SaturatingWorkload::CpuBurn, Actuation::None, quick());
+        let astar = characterize(
+            SaturatingWorkload::Spec(SpecBenchmark::Astar),
+            Actuation::None,
+            quick(),
+        );
+        assert!(astar.rise_over_idle() < burn.rise_over_idle() * 0.85);
+    }
+
+    #[test]
+    fn relative_results_are_fan_speed_invariant() {
+        // §3.4: absolute temperatures move with fan speed, but the
+        // *relative* trade-off metrics barely do — which is why the paper
+        // could fix fans at full without loss of generality.
+        let reduction_at = |fan: f64, seed: u64| {
+            let machine_config = MachineConfig::xeon_e5520().with_fan_speed(fan);
+            let cfg = RunConfig {
+                duration: SimDuration::from_secs(120),
+                measure_window: SimDuration::from_secs(20),
+                seed,
+            };
+            let base = characterize_on(
+                &machine_config,
+                SaturatingWorkload::CpuBurn,
+                Actuation::None,
+                cfg,
+            );
+            let run = characterize_on(
+                &machine_config,
+                SaturatingWorkload::CpuBurn,
+                Actuation::Injection {
+                    params: InjectionParams::new(0.5, SimDuration::from_millis(25)),
+                    model: InjectionModel::Probabilistic,
+                },
+                cfg,
+            );
+            (run.temp_reduction_vs(&base), base.rise_over_idle())
+        };
+        let (full_fan, full_rise) = reduction_at(1.0, 5);
+        let (half_fan, half_rise) = reduction_at(0.6, 6);
+        // Absolute rise changes materially...
+        assert!(half_rise > full_rise + 1.0, "{half_rise} vs {full_rise}");
+        // ...but the relative reduction metric is nearly unchanged.
+        assert!(
+            (full_fan - half_fan).abs() < 0.06,
+            "fan invariance violated: {full_fan} vs {half_fan}"
+        );
+    }
+
+    #[test]
+    fn run_config_presets() {
+        let p = RunConfig::paper(7);
+        assert_eq!(p.duration, SimDuration::from_secs(300));
+        assert_eq!(p.measure_window, SimDuration::from_secs(30));
+        assert_eq!(p.seed, 7);
+        assert!(RunConfig::quick(7).duration < p.duration);
+    }
+}

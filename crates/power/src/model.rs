@@ -1,0 +1,337 @@
+//! Core and package power models.
+//!
+//! Per-core power is the sum of a dynamic term `A · C_eff · V² · f` (scaled
+//! by the activity factor `A` and any TCC clock-duty modulation) and a
+//! temperature-dependent leakage term `k · V · e^{(T − T₀)/T_c}`. The model
+//! distinguishes the three idle mechanisms the paper compares:
+//!
+//! * **C1E** (`CoreState::IdleC1e`): clocks stopped *and* voltage dropped —
+//!   the deep idle Dimetrodon reaches by scheduling the kernel idle thread.
+//!   Only residual leakage remains.
+//! * **nop loop** (`CoreState::IdleNop`): §2.1's fallback for processors
+//!   without low-power idle states. The clock keeps running; only the
+//!   functional-unit activity drops.
+//! * **TCC duty cycling** (the `tcc_duty` argument): `p4tcc`-style clock
+//!   modulation. It removes a fraction of the *dynamic* power only; the
+//!   core never leaves C0, so full leakage and uncore power remain. This
+//!   asymmetry is why p4tcc underperforms in Figure 4.
+
+use crate::cstate::CoreState;
+use crate::pstate::PState;
+
+/// Parameters of the per-core power model.
+///
+/// Build via [`CorePowerParams::new`] or use the calibrated
+/// [`CorePowerParams::xeon_e5520`] preset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorePowerParams {
+    /// Effective switched capacitance coefficient, W / (V² · GHz).
+    pub c_eff: f64,
+    /// Leakage magnitude coefficient, W / V.
+    pub leak_coeff: f64,
+    /// Reference temperature for leakage, °C.
+    pub leak_t0: f64,
+    /// Exponential leakage temperature scale, °C.
+    pub leak_tc: f64,
+    /// Residual power in the C1E state, W (retention voltage leakage).
+    pub c1e_residual: f64,
+    /// Residual power in the deep (C6-class) state, W (power gated).
+    pub c6_residual: f64,
+    /// Fraction of full-activity dynamic power a nop idle loop burns.
+    pub nop_activity: f64,
+}
+
+impl CorePowerParams {
+    /// Creates a parameter set, validating ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coefficient is negative or non-finite, `leak_tc` is
+    /// not positive, or `nop_activity` is outside `[0, 1]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        c_eff: f64,
+        leak_coeff: f64,
+        leak_t0: f64,
+        leak_tc: f64,
+        c1e_residual: f64,
+        c6_residual: f64,
+        nop_activity: f64,
+    ) -> Self {
+        for (name, v) in [
+            ("c_eff", c_eff),
+            ("leak_coeff", leak_coeff),
+            ("c1e_residual", c1e_residual),
+            ("c6_residual", c6_residual),
+        ] {
+            assert!(v >= 0.0 && v.is_finite(), "{name} must be non-negative and finite");
+        }
+        assert!(leak_t0.is_finite(), "leak_t0 must be finite");
+        assert!(leak_tc > 0.0 && leak_tc.is_finite(), "leak_tc must be positive");
+        assert!(
+            (0.0..=1.0).contains(&nop_activity),
+            "nop_activity must be in [0, 1]"
+        );
+        assert!(
+            c6_residual <= c1e_residual,
+            "C6 must be at least as deep as C1E"
+        );
+        CorePowerParams {
+            c_eff,
+            leak_coeff,
+            leak_t0,
+            leak_tc,
+            c1e_residual,
+            c6_residual,
+            nop_activity,
+        }
+    }
+
+    /// Calibrated for the paper's Xeon E5520: a fully active core at the
+    /// top P-state and ~60 °C draws ≈ 15.5 W (so four active cores plus
+    /// uncore ≈ 72 W package, Figure 1's top level), and a C1E-idle core
+    /// draws ≈ 0.5 W (all-idle package ≈ 12 W, Figure 1's floor).
+    pub fn xeon_e5520() -> Self {
+        CorePowerParams::new(4.4, 2.2, 50.0, 50.0, 0.5, 0.05, 0.35)
+    }
+
+    /// Leakage power at supply voltage `v` and die temperature
+    /// `temp_celsius`, in watts. Grows exponentially with temperature
+    /// (the positive feedback the paper's introduction cites).
+    pub fn leakage(&self, v: f64, temp_celsius: f64) -> f64 {
+        self.leak_coeff * v * ((temp_celsius - self.leak_t0) / self.leak_tc).exp()
+    }
+
+    /// Dynamic power at `pstate` with the given activity factor, in watts.
+    pub fn dynamic(&self, pstate: PState, activity: f64) -> f64 {
+        self.c_eff * pstate.voltage().powi(2) * pstate.frequency_ghz() * activity
+    }
+
+    /// Total core power for a core in `state` at `pstate` with TCC clock
+    /// duty `tcc_duty` (1.0 = no gating) and die temperature
+    /// `temp_celsius`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tcc_duty` is outside `(0, 1]`.
+    pub fn core_power(
+        &self,
+        state: CoreState,
+        pstate: PState,
+        tcc_duty: f64,
+        temp_celsius: f64,
+    ) -> f64 {
+        assert!(
+            tcc_duty > 0.0 && tcc_duty <= 1.0,
+            "TCC duty must be in (0, 1], got {tcc_duty}"
+        );
+        match state {
+            CoreState::Active { activity } => {
+                self.dynamic(pstate, activity.value() * tcc_duty)
+                    + self.leakage(pstate.voltage(), temp_celsius)
+            }
+            // nop idle: clocks run (subject to TCC), leakage at full V.
+            CoreState::IdleNop => {
+                self.dynamic(pstate, self.nop_activity * tcc_duty)
+                    + self.leakage(pstate.voltage(), temp_celsius)
+            }
+            // C1E: clocks stopped, voltage dropped; flat residual.
+            CoreState::IdleC1e => self.c1e_residual,
+            // C6: power gated; nearly free to hold.
+            CoreState::IdleC6 => self.c6_residual,
+        }
+    }
+}
+
+/// Package-level power parameters (everything outside the cores).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackagePowerParams {
+    /// Constant uncore power (memory controller, QPI, caches' idle
+    /// fraction), W.
+    pub uncore: f64,
+}
+
+impl PackagePowerParams {
+    /// Creates package parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uncore` is negative or non-finite.
+    pub fn new(uncore: f64) -> Self {
+        assert!(uncore >= 0.0 && uncore.is_finite(), "uncore must be non-negative");
+        PackagePowerParams { uncore }
+    }
+
+    /// Calibrated for the paper's machine: ≈ 10 W of always-on uncore.
+    pub fn xeon_e5520() -> Self {
+        PackagePowerParams::new(10.0)
+    }
+
+    /// Total package power given the per-core powers.
+    pub fn package_power<I: IntoIterator<Item = f64>>(&self, core_powers: I) -> f64 {
+        self.uncore + core_powers.into_iter().sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cstate::Activity;
+    use crate::pstate::PStateTable;
+    use proptest::prelude::*;
+
+    fn params() -> CorePowerParams {
+        CorePowerParams::xeon_e5520()
+    }
+
+    fn p0() -> PState {
+        PStateTable::xeon_e5520().fastest()
+    }
+
+    fn pmin() -> PState {
+        PStateTable::xeon_e5520().slowest()
+    }
+
+    #[test]
+    fn full_package_is_about_72_watts() {
+        // Figure 1's top level: four cpuburn cores ≈ 70 W package.
+        let core = params().core_power(CoreState::active(1.0), p0(), 1.0, 60.0);
+        let pkg = PackagePowerParams::xeon_e5520().package_power([core; 4]);
+        assert!(
+            (65.0..80.0).contains(&pkg),
+            "full package power {pkg} out of calibration band"
+        );
+    }
+
+    #[test]
+    fn all_idle_package_is_about_12_watts() {
+        let core = params().core_power(CoreState::IdleC1e, p0(), 1.0, 40.0);
+        let pkg = PackagePowerParams::xeon_e5520().package_power([core; 4]);
+        assert!(
+            (10.0..15.0).contains(&pkg),
+            "idle package power {pkg} out of calibration band"
+        );
+    }
+
+    #[test]
+    fn c1e_is_much_cheaper_than_nop_idle() {
+        let p = params();
+        let c1e = p.core_power(CoreState::IdleC1e, p0(), 1.0, 50.0);
+        let nop = p.core_power(CoreState::IdleNop, p0(), 1.0, 50.0);
+        assert!(nop > 4.0 * c1e, "nop {nop} vs c1e {c1e}");
+    }
+
+    #[test]
+    fn tcc_gating_cuts_dynamic_only() {
+        let p = params();
+        let full = p.core_power(CoreState::active(1.0), p0(), 1.0, 60.0);
+        let half = p.core_power(CoreState::active(1.0), p0(), 0.5, 60.0);
+        let leak = p.leakage(p0().voltage(), 60.0);
+        // Halving duty halves the dynamic component exactly.
+        assert!(((full - leak) / 2.0 - (half - leak)).abs() < 1e-9);
+        // But leakage is untouched, so power does not halve.
+        assert!(half > full / 2.0);
+    }
+
+    #[test]
+    fn vfs_gives_superlinear_power_reduction() {
+        // The quadratic V²f benefit: at 71% frequency, power should be
+        // well below 71% of the top-state power (Figure 4's rationale).
+        let p = params();
+        let hi = p.core_power(CoreState::active(1.0), p0(), 1.0, 60.0);
+        let lo = p.core_power(CoreState::active(1.0), pmin(), 1.0, 60.0);
+        let speed_ratio = pmin().frequency_ghz() / p0().frequency_ghz();
+        assert!(
+            lo / hi < speed_ratio * 0.85,
+            "expected superlinear saving: power ratio {} vs speed ratio {speed_ratio}",
+            lo / hi
+        );
+    }
+
+    #[test]
+    fn leakage_grows_with_temperature() {
+        let p = params();
+        let cold = p.leakage(1.1, 40.0);
+        let hot = p.leakage(1.1, 70.0);
+        assert!(hot > cold * 1.5, "leakage should grow: {cold} -> {hot}");
+    }
+
+    #[test]
+    fn activity_scales_dynamic_power_linearly() {
+        let p = params();
+        let full = p.dynamic(p0(), 1.0);
+        let half = p.dynamic(p0(), 0.5);
+        assert!((half * 2.0 - full).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "TCC duty")]
+    fn zero_duty_panics() {
+        params().core_power(CoreState::active(1.0), p0(), 0.0, 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nop_activity")]
+    fn bad_nop_activity_panics() {
+        CorePowerParams::new(1.0, 1.0, 50.0, 50.0, 0.5, 0.05, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "C6 must be at least as deep")]
+    fn shallow_c6_panics() {
+        CorePowerParams::new(1.0, 1.0, 50.0, 50.0, 0.5, 0.9, 0.3);
+    }
+
+    #[test]
+    fn c6_is_deeper_than_c1e() {
+        let p = params();
+        let c1e = p.core_power(CoreState::IdleC1e, p0(), 1.0, 50.0);
+        let c6 = p.core_power(CoreState::IdleC6, p0(), 1.0, 50.0);
+        assert!(c6 < c1e, "{c6} vs {c1e}");
+        assert!(c6 >= 0.0);
+    }
+
+    #[test]
+    fn package_power_sums() {
+        let pkg = PackagePowerParams::new(5.0);
+        assert_eq!(pkg.package_power([1.0, 2.0, 3.0]), 11.0);
+        assert_eq!(pkg.package_power([]), 5.0);
+    }
+
+    proptest! {
+        /// Core power is monotone in activity.
+        #[test]
+        fn prop_monotone_in_activity(a in 0.0f64..1.0, b in 0.0f64..1.0, temp in 20.0f64..90.0) {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            let p = params();
+            let pl = p.core_power(CoreState::Active { activity: Activity::new(lo) }, p0(), 1.0, temp);
+            let ph = p.core_power(CoreState::Active { activity: Activity::new(hi) }, p0(), 1.0, temp);
+            prop_assert!(ph >= pl);
+        }
+
+        /// Power is always non-negative and finite in the operating
+        /// envelope.
+        #[test]
+        fn prop_power_finite(act in 0.0f64..1.0, duty in 0.01f64..1.0, temp in 0.0f64..110.0) {
+            let p = params();
+            for state in [CoreState::active(act), CoreState::IdleC1e, CoreState::IdleC6, CoreState::IdleNop] {
+                let w = p.core_power(state, p0(), duty, temp);
+                prop_assert!(w.is_finite() && w >= 0.0);
+            }
+        }
+
+        /// Idle-state ordering holds everywhere: C6 <= C1E <= nop and
+        /// C1E below any active state at the same conditions.
+        #[test]
+        fn prop_idle_state_ordering(act in 0.0f64..1.0, temp in 20.0f64..90.0) {
+            let p = params();
+            let c6 = p.core_power(CoreState::IdleC6, p0(), 1.0, temp);
+            let c1e = p.core_power(CoreState::IdleC1e, p0(), 1.0, temp);
+            let active = p.core_power(CoreState::active(act), p0(), 1.0, temp);
+            let nop = p.core_power(CoreState::IdleNop, p0(), 1.0, temp);
+            prop_assert!(c6 <= c1e + 1e-12);
+            prop_assert!(c1e <= active + 1e-12);
+            prop_assert!(c1e <= nop + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Elementary thread bodies used in tests and as building blocks.
+//!
+//! Richer workloads (SPEC-like profiles, the web server) live in the
+//! `dimetrodon-workload` crate; these two cover the common cases of "burn
+//! CPU forever" and "burn a fixed amount of CPU, then exit".
+
+use dimetrodon_sim_core::{SimDuration, SimTime};
+
+use crate::thread::{Action, Burst, ThreadBody};
+
+/// Runs forever at a fixed activity, in fixed-size bursts.
+///
+/// # Examples
+///
+/// ```
+/// use dimetrodon_sched::{Spin, ThreadBody, Action};
+/// use dimetrodon_sim_core::SimTime;
+///
+/// let mut body = Spin::new(1.0);
+/// assert!(matches!(body.next_action(SimTime::ZERO), Action::Run(_)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Spin {
+    activity: f64,
+    burst: SimDuration,
+}
+
+impl Spin {
+    /// A spinner at the given activity with 10 ms work units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity` is outside `[0, 1]`.
+    pub fn new(activity: f64) -> Self {
+        Self::with_burst(activity, SimDuration::from_millis(10))
+    }
+
+    /// A spinner with a custom work-unit size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity` is outside `[0, 1]` or `burst` is zero.
+    pub fn with_burst(activity: f64, burst: SimDuration) -> Self {
+        assert!((0.0..=1.0).contains(&activity), "activity must be in [0, 1]");
+        assert!(!burst.is_zero(), "burst must be positive");
+        Spin { activity, burst }
+    }
+}
+
+impl ThreadBody for Spin {
+    fn next_action(&mut self, _now: SimTime) -> Action {
+        Action::Run(Burst::new(self.burst, self.activity))
+    }
+}
+
+/// Executes a fixed amount of CPU work, then exits.
+///
+/// This is the "finite cpuburn" shape of the paper's model-validation
+/// experiments (§3.3): a thread with known CPU demand `R` whose completion
+/// time under injection is predicted by `D(t) = R + S · p/(1−p) · L`.
+#[derive(Debug, Clone)]
+pub struct FixedWork {
+    remaining: SimDuration,
+    burst: SimDuration,
+    activity: f64,
+}
+
+impl FixedWork {
+    /// A body requiring `total` CPU time at the given activity, consumed
+    /// in 10 ms work units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero or `activity` is outside `[0, 1]`.
+    pub fn new(total: SimDuration, activity: f64) -> Self {
+        Self::with_burst(total, activity, SimDuration::from_millis(10))
+    }
+
+    /// A body with a custom work-unit size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` or `burst` is zero, or `activity` is outside
+    /// `[0, 1]`.
+    pub fn with_burst(total: SimDuration, activity: f64, burst: SimDuration) -> Self {
+        assert!(!total.is_zero(), "total work must be positive");
+        assert!(!burst.is_zero(), "burst must be positive");
+        assert!((0.0..=1.0).contains(&activity), "activity must be in [0, 1]");
+        FixedWork {
+            remaining: total,
+            burst,
+            activity,
+        }
+    }
+
+    /// CPU time still to execute.
+    pub fn remaining(&self) -> SimDuration {
+        self.remaining
+    }
+}
+
+impl ThreadBody for FixedWork {
+    fn next_action(&mut self, _now: SimTime) -> Action {
+        if self.remaining.is_zero() {
+            return Action::Exit;
+        }
+        let chunk = self.remaining.min(self.burst);
+        self.remaining -= chunk;
+        Action::Run(Burst::new(chunk, self.activity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_never_exits() {
+        let mut s = Spin::new(0.5);
+        for _ in 0..100 {
+            assert!(matches!(s.next_action(SimTime::ZERO), Action::Run(_)));
+        }
+    }
+
+    #[test]
+    fn fixed_work_consumes_then_exits() {
+        let mut w = FixedWork::with_burst(
+            SimDuration::from_millis(25),
+            1.0,
+            SimDuration::from_millis(10),
+        );
+        let mut total = SimDuration::ZERO;
+        let mut actions = 0;
+        loop {
+            match w.next_action(SimTime::ZERO) {
+                Action::Run(b) => {
+                    total += b.cpu_time;
+                    actions += 1;
+                }
+                Action::Exit => break,
+                Action::Sleep(_) => panic!("FixedWork never sleeps"),
+            }
+        }
+        assert_eq!(total, SimDuration::from_millis(25));
+        assert_eq!(actions, 3); // 10 + 10 + 5
+        // Exit is stable.
+        assert_eq!(w.next_action(SimTime::ZERO), Action::Exit);
+    }
+
+    #[test]
+    #[should_panic(expected = "total work must be positive")]
+    fn fixed_work_rejects_zero() {
+        FixedWork::new(SimDuration::ZERO, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "activity")]
+    fn spin_rejects_bad_activity() {
+        Spin::new(2.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Structured scheduling trace: what the kernel decided, when.
+//!
+//! A [`DecisionTrace`] is a bounded ring buffer of scheduling events —
+//! dispatches, injected idles, sleeps, wakeups, exits — that the
+//! [`System`](crate::System) records when tracing is enabled. It exists
+//! for the same reason a production scheduler has `ktrace`/`sched:`
+//! tracepoints: debugging policies ("did the injection actually pin the
+//! thread?") and auditing experiments ("how many decisions did this run
+//! make?") without printf archaeology.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use dimetrodon_machine::CoreId;
+use dimetrodon_sim_core::{SimDuration, SimTime};
+
+use crate::thread::ThreadId;
+
+/// One scheduling decision or lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A thread was dispatched onto a core.
+    Dispatch {
+        /// Core that dispatched.
+        core: CoreId,
+        /// Thread dispatched.
+        thread: ThreadId,
+    },
+    /// An idle quantum was injected in place of a thread (which is pinned
+    /// for the duration).
+    InjectIdle {
+        /// Core that idles.
+        core: CoreId,
+        /// The displaced, pinned thread.
+        thread: ThreadId,
+        /// Quantum length.
+        quantum: SimDuration,
+    },
+    /// A thread blocked.
+    Sleep {
+        /// The thread.
+        thread: ThreadId,
+        /// Sleep duration.
+        duration: SimDuration,
+    },
+    /// A sleeping thread became runnable.
+    Wakeup {
+        /// The thread.
+        thread: ThreadId,
+    },
+    /// A thread exited.
+    Exit {
+        /// The thread.
+        thread: ThreadId,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Dispatch { core, thread } => write!(f, "{core}: dispatch {thread}"),
+            TraceEvent::InjectIdle {
+                core,
+                thread,
+                quantum,
+            } => write!(f, "{core}: inject idle {quantum} (pin {thread})"),
+            TraceEvent::Sleep { thread, duration } => write!(f, "{thread}: sleep {duration}"),
+            TraceEvent::Wakeup { thread } => write!(f, "{thread}: wakeup"),
+            TraceEvent::Exit { thread } => write!(f, "{thread}: exit"),
+        }
+    }
+}
+
+/// A timestamped trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the event happened.
+    pub at: SimTime,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// Bounded ring buffer of [`TraceRecord`]s.
+///
+/// # Examples
+///
+/// ```
+/// use dimetrodon_sched::{DecisionTrace, TraceEvent, ThreadId};
+/// use dimetrodon_sim_core::SimTime;
+///
+/// let mut trace = DecisionTrace::new(2);
+/// trace.record(SimTime::ZERO, TraceEvent::Wakeup { thread: ThreadId(1) });
+/// trace.record(SimTime::from_millis(1), TraceEvent::Exit { thread: ThreadId(1) });
+/// trace.record(SimTime::from_millis(2), TraceEvent::Wakeup { thread: ThreadId(2) });
+/// // Capacity 2: the oldest record was evicted.
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.dropped(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DecisionTrace {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl DecisionTrace {
+    /// Creates a trace keeping at most `capacity` records (oldest
+    /// evicted first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        DecisionTrace {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest if full.
+    pub fn record(&mut self, at: SimTime, event: TraceEvent) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord { at, event });
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates oldest-first over retained records.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Count of retained records matching a predicate.
+    pub fn count_matching(&self, mut predicate: impl FnMut(&TraceEvent) -> bool) -> usize {
+        self.records.iter().filter(|r| predicate(&r.event)).count()
+    }
+
+    /// Renders the retained records, one per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} earlier records dropped ...\n", self.dropped));
+        }
+        for record in &self.records {
+            out.push_str(&format!("[{}] {}\n", record.at, record.event));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wake(n: u64) -> TraceEvent {
+        TraceEvent::Wakeup { thread: ThreadId(n) }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = DecisionTrace::new(3);
+        for i in 0..5 {
+            t.record(SimTime::from_millis(i), wake(i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let first = t.iter().next().unwrap();
+        assert_eq!(first.event, wake(2));
+    }
+
+    #[test]
+    fn count_matching() {
+        let mut t = DecisionTrace::new(10);
+        t.record(SimTime::ZERO, wake(1));
+        t.record(SimTime::ZERO, TraceEvent::Exit { thread: ThreadId(1) });
+        t.record(SimTime::ZERO, wake(2));
+        assert_eq!(t.count_matching(|e| matches!(e, TraceEvent::Wakeup { .. })), 2);
+    }
+
+    #[test]
+    fn render_includes_drop_notice() {
+        let mut t = DecisionTrace::new(1);
+        t.record(SimTime::ZERO, wake(1));
+        t.record(SimTime::from_millis(5), wake(2));
+        let text = t.render();
+        assert!(text.contains("1 earlier records dropped"));
+        assert!(text.contains("tid2: wakeup"));
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = TraceEvent::InjectIdle {
+            core: CoreId(2),
+            thread: ThreadId(7),
+            quantum: SimDuration::from_millis(25),
+        };
+        assert_eq!(e.to_string(), "cpu2: inject idle 25.000ms (pin tid7)");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        DecisionTrace::new(0);
+    }
+}

@@ -1,0 +1,367 @@
+//! Time-series recording and reduction.
+//!
+//! Experiments observe the simulated machine through sampled traces —
+//! temperature three hundred times a second, power three times a
+//! millisecond. [`TimeSeries`] stores `(time, value)` samples and provides
+//! the reductions the paper's methodology needs: the mean over the last 30
+//! seconds of a run (§3.4's steady-state measurement), time-weighted
+//! integration (energy from a power trace), and resampling for plots.
+
+use crate::time::{SimDuration, SimTime};
+
+/// An append-only series of `(time, value)` samples with non-decreasing
+/// timestamps.
+///
+/// # Examples
+///
+/// ```
+/// use dimetrodon_sim_core::{SimTime, TimeSeries};
+///
+/// let mut power = TimeSeries::new("power_w");
+/// power.push(SimTime::from_millis(0), 10.0);
+/// power.push(SimTime::from_millis(500), 20.0);
+/// power.push(SimTime::from_millis(1000), 20.0);
+/// // 10 W for 0.5 s, then 20 W for 0.5 s = 15 J.
+/// assert!((power.integrate_step() - 15.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    name: String,
+    times: Vec<SimTime>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a descriptive name (used in reports).
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            times: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the last sample's time or `value` is NaN.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(at >= last, "sample at {at} precedes last sample at {last}");
+        }
+        assert!(!value.is_nan(), "NaN sample in series {}", self.name);
+        self.times.push(at);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Iterates over `(time, value)` samples.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// The last sample, if any.
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        Some((*self.times.last()?, *self.values.last()?))
+    }
+
+    /// The unweighted mean of all sample values.
+    ///
+    /// Use [`TimeSeries::mean_over`] for the measurement-window semantics
+    /// of the paper; this plain mean is appropriate for uniformly sampled
+    /// series.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+    }
+
+    /// The minimum sample value.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// The maximum sample value.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// The unweighted mean of samples with `time >= from`.
+    ///
+    /// This is the paper's §3.4 measurement: "the average temperature over
+    /// the last 30 seconds of a 300 second execution" is
+    /// `mean_over(SimTime::from_secs(270))`.
+    pub fn mean_over(&self, from: SimTime) -> Option<f64> {
+        let start = self.times.partition_point(|&t| t < from);
+        let tail = &self.values[start..];
+        if tail.is_empty() {
+            return None;
+        }
+        Some(tail.iter().sum::<f64>() / tail.len() as f64)
+    }
+
+    /// Integrates the series as a step function (each value holds until the
+    /// next sample). For a power trace in watts this yields joules.
+    ///
+    /// Returns `0.0` for series with fewer than two samples.
+    pub fn integrate_step(&self) -> f64 {
+        self.iter()
+            .zip(self.times.iter().skip(1))
+            .map(|((t0, v), &t1)| v * (t1 - t0).as_secs_f64())
+            .sum()
+    }
+
+    /// Integrates the series by the trapezoid rule. Appropriate for
+    /// smoothly varying signals such as temperature.
+    ///
+    /// Returns `0.0` for series with fewer than two samples.
+    pub fn integrate_trapezoid(&self) -> f64 {
+        self.times
+            .windows(2)
+            .zip(self.values.windows(2))
+            .map(|(t, v)| 0.5 * (v[0] + v[1]) * (t[1] - t[0]).as_secs_f64())
+            .sum()
+    }
+
+    /// Downsamples to at most `max_points` evenly spaced samples (by index),
+    /// always retaining the first and last. Intended for plotting.
+    pub fn thin(&self, max_points: usize) -> Vec<(SimTime, f64)> {
+        if self.len() <= max_points || max_points < 2 {
+            return self.iter().collect();
+        }
+        let step = (self.len() - 1) as f64 / (max_points - 1) as f64;
+        (0..max_points)
+            .map(|i| {
+                let idx = ((i as f64 * step).round() as usize).min(self.len() - 1);
+                (self.times[idx], self.values[idx])
+            })
+            .collect()
+    }
+
+    /// The value in effect at `at`, treating the series as a step function.
+    /// Returns `None` before the first sample.
+    pub fn sample_at(&self, at: SimTime) -> Option<f64> {
+        let idx = self.times.partition_point(|&t| t <= at);
+        if idx == 0 {
+            None
+        } else {
+            Some(self.values[idx - 1])
+        }
+    }
+
+    /// A centred moving average with the given window span: each output
+    /// sample is the mean of all input samples within `window / 2` on
+    /// either side. Used to smooth probabilistic temperature curves for
+    /// plotting without disturbing their trend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn moving_average(&self, window: SimDuration) -> TimeSeries {
+        assert!(!window.is_zero(), "window must be positive");
+        let half = window / 2;
+        let mut out = TimeSeries::new(format!("{}_smoothed", self.name));
+        let mut lo = 0usize;
+        let mut hi = 0usize;
+        let mut sum = 0.0;
+        for (i, &t) in self.times.iter().enumerate() {
+            let from = t.saturating_since(SimTime::ZERO + half);
+            let from = SimTime::ZERO + from;
+            let to = t.checked_add(half).unwrap_or(SimTime::MAX);
+            while hi < self.times.len() && self.times[hi] <= to {
+                sum += self.values[hi];
+                hi += 1;
+            }
+            while lo < self.times.len() && self.times[lo] < from {
+                sum -= self.values[lo];
+                lo += 1;
+            }
+            debug_assert!(lo <= i && i < hi);
+            out.push(t, sum / (hi - lo) as f64);
+        }
+        out
+    }
+
+    /// Duration covered by the series (first to last sample).
+    pub fn span(&self) -> SimDuration {
+        match (self.times.first(), self.times.last()) {
+            (Some(&a), Some(&b)) => b - a,
+            _ => SimDuration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn series(samples: &[(u64, f64)]) -> TimeSeries {
+        let mut s = TimeSeries::new("test");
+        for &(ms, v) in samples {
+            s.push(SimTime::from_millis(ms), v);
+        }
+        s
+    }
+
+    #[test]
+    fn mean_over_window() {
+        let s = series(&[(0, 1.0), (100, 2.0), (200, 3.0), (300, 4.0)]);
+        assert_eq!(s.mean_over(SimTime::from_millis(200)), Some(3.5));
+        assert_eq!(s.mean_over(SimTime::from_millis(0)), Some(2.5));
+        assert_eq!(s.mean_over(SimTime::from_millis(301)), None);
+    }
+
+    #[test]
+    fn step_integration_is_left_rectangle() {
+        let s = series(&[(0, 10.0), (500, 20.0), (1000, 0.0)]);
+        assert!((s.integrate_step() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trapezoid_integration() {
+        // Linear ramp 0->10 over 1 s has area 5.
+        let s = series(&[(0, 0.0), (1000, 10.0)]);
+        assert!((s.integrate_trapezoid() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_at_is_step_function() {
+        let s = series(&[(100, 1.0), (200, 2.0)]);
+        assert_eq!(s.sample_at(SimTime::from_millis(50)), None);
+        assert_eq!(s.sample_at(SimTime::from_millis(100)), Some(1.0));
+        assert_eq!(s.sample_at(SimTime::from_millis(150)), Some(1.0));
+        assert_eq!(s.sample_at(SimTime::from_millis(500)), Some(2.0));
+    }
+
+    #[test]
+    fn thin_keeps_endpoints() {
+        let s = series(&(0..100).map(|i| (i * 10, i as f64)).collect::<Vec<_>>());
+        let thinned = s.thin(10);
+        assert_eq!(thinned.len(), 10);
+        assert_eq!(thinned.first().unwrap().1, 0.0);
+        assert_eq!(thinned.last().unwrap().1, 99.0);
+    }
+
+    #[test]
+    fn thin_noop_when_small() {
+        let s = series(&[(0, 1.0), (10, 2.0)]);
+        assert_eq!(s.thin(10).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes last sample")]
+    fn push_rejects_time_travel() {
+        let mut s = TimeSeries::new("t");
+        s.push(SimTime::from_millis(10), 0.0);
+        s.push(SimTime::from_millis(5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn push_rejects_nan() {
+        TimeSeries::new("t").push(SimTime::ZERO, f64::NAN);
+    }
+
+    #[test]
+    fn min_max_last_span() {
+        let s = series(&[(0, 3.0), (100, 1.0), (200, 2.0)]);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+        assert_eq!(s.last(), Some((SimTime::from_millis(200), 2.0)));
+        assert_eq!(s.span(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn empty_series_reductions() {
+        let s = TimeSeries::new("empty");
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.integrate_step(), 0.0);
+        assert_eq!(s.span(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn moving_average_smooths_alternation() {
+        // Alternating 0/10 samples every 10 ms with a 50 ms window
+        // average out to ~5 in the interior.
+        let mut s = TimeSeries::new("noisy");
+        for i in 0..100u64 {
+            s.push(SimTime::from_millis(i * 10), if i % 2 == 0 { 0.0 } else { 10.0 });
+        }
+        let smooth = s.moving_average(SimDuration::from_millis(50));
+        assert_eq!(smooth.len(), s.len());
+        for (t, v) in smooth.iter() {
+            if t > SimTime::from_millis(50) && t < SimTime::from_millis(940) {
+                assert!((v - 5.0).abs() <= 2.0, "at {t}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn moving_average_preserves_constants() {
+        let s = series(&[(0, 3.0), (100, 3.0), (200, 3.0)]);
+        let smooth = s.moving_average(SimDuration::from_millis(150));
+        assert!(smooth.iter().all(|(_, v)| (v - 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn moving_average_rejects_zero_window() {
+        series(&[(0, 1.0)]).moving_average(SimDuration::ZERO);
+    }
+
+    proptest! {
+        /// Step integral of a constant series equals constant * span.
+        #[test]
+        fn prop_constant_integral(v in -1e3f64..1e3, n in 2usize..50) {
+            let mut s = TimeSeries::new("c");
+            for i in 0..n {
+                s.push(SimTime::from_millis(i as u64 * 100), v);
+            }
+            let expected = v * s.span().as_secs_f64();
+            prop_assert!((s.integrate_step() - expected).abs() < 1e-9);
+            prop_assert!((s.integrate_trapezoid() - expected).abs() < 1e-9);
+        }
+
+        /// mean_over(first sample time) equals the plain mean.
+        #[test]
+        fn prop_mean_over_start_is_mean(values in prop::collection::vec(-1e3f64..1e3, 1..50)) {
+            let mut s = TimeSeries::new("m");
+            for (i, &v) in values.iter().enumerate() {
+                s.push(SimTime::from_millis(i as u64), v);
+            }
+            let a = s.mean().unwrap();
+            let b = s.mean_over(SimTime::ZERO).unwrap();
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+
+        /// min <= mean <= max for any non-empty series.
+        #[test]
+        fn prop_mean_between_extremes(values in prop::collection::vec(-1e3f64..1e3, 1..50)) {
+            let mut s = TimeSeries::new("m");
+            for (i, &v) in values.iter().enumerate() {
+                s.push(SimTime::from_millis(i as u64), v);
+            }
+            let (mean, min, max) = (s.mean().unwrap(), s.min().unwrap(), s.max().unwrap());
+            prop_assert!(min <= mean + 1e-12 && mean <= max + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,750 @@
+//! The lumped RC thermal network and its integrator.
+//!
+//! A network is a set of thermal nodes — each with a heat capacity in J/K —
+//! joined by thermal conductances in W/K, plus conductances to a
+//! fixed-temperature ambient node. Power (heat) in watts is injected at
+//! nodes; temperatures evolve by
+//!
+//! ```text
+//! C_i dT_i/dt = P_i − Σ_j G_ij (T_i − T_j) − G_i,amb (T_i − T_amb)
+//! ```
+//!
+//! The integrator is an *exponential Euler* scheme: within a step, each
+//! node relaxes exactly toward the equilibrium implied by its neighbours'
+//! frozen temperatures. This is unconditionally stable, exact for a single
+//! node, and second-order accurate for networks at the sub-time-constant
+//! steps used here — which matters because the scheduler calls the model
+//! with irregular, event-driven step sizes.
+
+use std::fmt;
+
+use dimetrodon_sim_core::SimDuration;
+
+use crate::linalg::Matrix;
+
+/// Identifies a node in a [`ThermalNetwork`].
+///
+/// Node ids are dense indices assigned by
+/// [`ThermalNetworkBuilder::add_node`] in insertion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The dense index of this node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Errors from building or using a thermal network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThermalError {
+    /// A node parameter was not positive and finite.
+    BadNodeParameter {
+        /// The offending node's name.
+        name: String,
+        /// Explanation of the violation.
+        reason: &'static str,
+    },
+    /// A conductance was not positive and finite.
+    BadConductance {
+        /// Explanation of the violation.
+        reason: &'static str,
+    },
+    /// Some node has no conduction path to ambient, so its temperature
+    /// would diverge under sustained power.
+    NotGroundedToAmbient {
+        /// Names of the unreachable nodes.
+        nodes: Vec<String>,
+    },
+    /// The network has no nodes.
+    Empty,
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThermalError::BadNodeParameter { name, reason } => {
+                write!(f, "bad parameter for thermal node `{name}`: {reason}")
+            }
+            ThermalError::BadConductance { reason } => {
+                write!(f, "bad thermal conductance: {reason}")
+            }
+            ThermalError::NotGroundedToAmbient { nodes } => {
+                write!(f, "thermal nodes not connected to ambient: {}", nodes.join(", "))
+            }
+            ThermalError::Empty => write!(f, "thermal network has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for ThermalError {}
+
+/// Builder for a [`ThermalNetwork`].
+///
+/// # Examples
+///
+/// A die–package–ambient chain:
+///
+/// ```
+/// use dimetrodon_thermal::ThermalNetworkBuilder;
+/// use dimetrodon_sim_core::SimDuration;
+///
+/// # fn main() -> Result<(), dimetrodon_thermal::ThermalError> {
+/// let mut builder = ThermalNetworkBuilder::new(25.0);
+/// let die = builder.add_node("die", 1.0);
+/// let pkg = builder.add_node("package", 50.0);
+/// builder.connect(die, pkg, 0.5);
+/// builder.connect_ambient(pkg, 0.4);
+/// let mut network = builder.build()?;
+///
+/// network.set_power(die, 10.0);
+/// network.advance(SimDuration::from_secs(600));
+/// // After a long time the die sits well above ambient.
+/// assert!(network.temperature(die) > 40.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThermalNetworkBuilder {
+    ambient_celsius: f64,
+    names: Vec<String>,
+    capacitances: Vec<f64>,
+    edges: Vec<(usize, usize, f64)>,
+    ambient_edges: Vec<(usize, f64)>,
+}
+
+impl ThermalNetworkBuilder {
+    /// Starts a network with the given fixed ambient temperature in °C.
+    pub fn new(ambient_celsius: f64) -> Self {
+        ThermalNetworkBuilder {
+            ambient_celsius,
+            names: Vec::new(),
+            capacitances: Vec::new(),
+            edges: Vec::new(),
+            ambient_edges: Vec::new(),
+        }
+    }
+
+    /// Adds a node with heat capacity in J/K and returns its id.
+    pub fn add_node(&mut self, name: impl Into<String>, capacitance_j_per_k: f64) -> NodeId {
+        self.names.push(name.into());
+        self.capacitances.push(capacitance_j_per_k);
+        NodeId(self.names.len() - 1)
+    }
+
+    /// Connects two nodes with a thermal conductance in W/K. Multiple
+    /// connections between the same pair sum.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, conductance_w_per_k: f64) -> &mut Self {
+        self.edges.push((a.0, b.0, conductance_w_per_k));
+        self
+    }
+
+    /// Connects a node to the fixed ambient with a conductance in W/K.
+    pub fn connect_ambient(&mut self, node: NodeId, conductance_w_per_k: f64) -> &mut Self {
+        self.ambient_edges.push((node.0, conductance_w_per_k));
+        self
+    }
+
+    /// Validates and builds the network, with all node temperatures
+    /// initialised to ambient.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the network is empty, any capacitance or
+    /// conductance is non-positive or non-finite, or any node lacks a
+    /// conduction path to ambient.
+    pub fn build(&self) -> Result<ThermalNetwork, ThermalError> {
+        let n = self.names.len();
+        if n == 0 {
+            return Err(ThermalError::Empty);
+        }
+        for (name, &c) in self.names.iter().zip(&self.capacitances) {
+            if !(c > 0.0 && c.is_finite()) {
+                return Err(ThermalError::BadNodeParameter {
+                    name: name.clone(),
+                    reason: "heat capacity must be positive and finite",
+                });
+            }
+        }
+        for &(a, b, g) in &self.edges {
+            if !(g > 0.0 && g.is_finite()) {
+                return Err(ThermalError::BadConductance {
+                    reason: "node-to-node conductance must be positive and finite",
+                });
+            }
+            if a == b {
+                return Err(ThermalError::BadConductance {
+                    reason: "self-loops are meaningless",
+                });
+            }
+        }
+        for &(_, g) in &self.ambient_edges {
+            if !(g > 0.0 && g.is_finite()) {
+                return Err(ThermalError::BadConductance {
+                    reason: "ambient conductance must be positive and finite",
+                });
+            }
+        }
+
+        // Adjacency with summed conductances.
+        let mut conductance = vec![vec![0.0f64; n]; n];
+        for &(a, b, g) in &self.edges {
+            conductance[a][b] += g;
+            conductance[b][a] += g;
+        }
+        let mut ambient_conductance = vec![0.0f64; n];
+        for &(node, g) in &self.ambient_edges {
+            ambient_conductance[node] += g;
+        }
+
+        // Reachability from ambient: every node must be able to shed heat.
+        let mut reachable = vec![false; n];
+        let mut stack: Vec<usize> = (0..n).filter(|&i| ambient_conductance[i] > 0.0).collect();
+        for &s in &stack {
+            reachable[s] = true;
+        }
+        while let Some(i) = stack.pop() {
+            for j in 0..n {
+                if conductance[i][j] > 0.0 && !reachable[j] {
+                    reachable[j] = true;
+                    stack.push(j);
+                }
+            }
+        }
+        let unreachable: Vec<String> = (0..n)
+            .filter(|&i| !reachable[i])
+            .map(|i| self.names[i].clone())
+            .collect();
+        if !unreachable.is_empty() {
+            return Err(ThermalError::NotGroundedToAmbient { nodes: unreachable });
+        }
+
+        let total_conductance: Vec<f64> = (0..n)
+            .map(|i| conductance[i].iter().sum::<f64>() + ambient_conductance[i])
+            .collect();
+
+        // The shortest local time constant bounds the internal substep.
+        // Exponential Euler is unconditionally stable and exact per node;
+        // a quarter of the fastest time constant keeps the coupling error
+        // negligible at the temperatures we care about.
+        let min_tau = (0..n)
+            .map(|i| self.capacitances[i] / total_conductance[i])
+            .fold(f64::INFINITY, f64::min);
+
+        Ok(ThermalNetwork {
+            names: self.names.clone(),
+            capacitances: self.capacitances.clone(),
+            conductance,
+            ambient_conductance,
+            total_conductance,
+            ambient_celsius: self.ambient_celsius,
+            temperatures: vec![self.ambient_celsius; n],
+            powers: vec![0.0; n],
+            max_substep: SimDuration::from_secs_f64(min_tau / 4.0),
+        })
+    }
+}
+
+/// A lumped RC thermal network with a fixed-temperature ambient.
+///
+/// Construct with [`ThermalNetworkBuilder`]. Inject power with
+/// [`set_power`](ThermalNetwork::set_power), then
+/// [`advance`](ThermalNetwork::advance) the network through time; power is treated as
+/// constant for the duration of each `advance` call, matching the
+/// piecewise-constant power profile of a discrete-event machine model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalNetwork {
+    names: Vec<String>,
+    capacitances: Vec<f64>,
+    /// `conductance[i][j]`: W/K between nodes i and j (symmetric).
+    conductance: Vec<Vec<f64>>,
+    ambient_conductance: Vec<f64>,
+    /// Cached per-node sum of incident conductances.
+    total_conductance: Vec<f64>,
+    ambient_celsius: f64,
+    temperatures: Vec<f64>,
+    powers: Vec<f64>,
+    max_substep: SimDuration,
+}
+
+impl ThermalNetwork {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The name a node was registered with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not from this network.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.names[node.0]
+    }
+
+    /// Node ids in insertion order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.names.len()).map(NodeId)
+    }
+
+    /// The fixed ambient temperature in °C.
+    pub fn ambient_celsius(&self) -> f64 {
+        self.ambient_celsius
+    }
+
+    /// Current temperature of a node in °C.
+    pub fn temperature(&self, node: NodeId) -> f64 {
+        self.temperatures[node.0]
+    }
+
+    /// All node temperatures, indexed by [`NodeId::index`].
+    pub fn temperatures(&self) -> &[f64] {
+        &self.temperatures
+    }
+
+    /// Sets the heat injected at a node, in watts, until changed again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watts` is negative or not finite.
+    pub fn set_power(&mut self, node: NodeId, watts: f64) {
+        assert!(
+            watts >= 0.0 && watts.is_finite(),
+            "power must be non-negative and finite, got {watts}"
+        );
+        self.powers[node.0] = watts;
+    }
+
+    /// Current power injection at a node, in watts.
+    pub fn power(&self, node: NodeId) -> f64 {
+        self.powers[node.0]
+    }
+
+    /// Advances the network by `dt` under the currently set powers.
+    ///
+    /// Internally sub-steps at an eighth of the fastest local time constant
+    /// so accuracy does not depend on the caller's event granularity.
+    pub fn advance(&mut self, dt: SimDuration) {
+        if dt.is_zero() {
+            return;
+        }
+        let mut remaining = dt;
+        while !remaining.is_zero() {
+            let step = remaining.min(self.max_substep);
+            self.substep(step.as_secs_f64());
+            remaining = remaining.saturating_sub(step);
+        }
+    }
+
+    /// One exponential-Euler substep of `dt_s` seconds.
+    fn substep(&mut self, dt_s: f64) {
+        let n = self.temperatures.len();
+        let old = self.temperatures.clone();
+        for i in 0..n {
+            let g_tot = self.total_conductance[i];
+            let neighbour_heat: f64 = (0..n)
+                .map(|j| self.conductance[i][j] * old[j])
+                .sum::<f64>()
+                + self.ambient_conductance[i] * self.ambient_celsius;
+            let t_eq = (self.powers[i] + neighbour_heat) / g_tot;
+            let decay = (-g_tot * dt_s / self.capacitances[i]).exp();
+            self.temperatures[i] = t_eq + (old[i] - t_eq) * decay;
+        }
+    }
+
+    /// The steady-state temperatures under the currently set powers,
+    /// computed directly from the conductance matrix (no time stepping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conductance matrix is singular, which
+    /// [`ThermalNetworkBuilder::build`] makes impossible (every node is
+    /// grounded to ambient).
+    pub fn steady_state(&self) -> Vec<f64> {
+        let n = self.temperatures.len();
+        let mut matrix = Matrix::zeros(n);
+        let mut rhs = vec![0.0; n];
+        for (i, rhs_i) in rhs.iter_mut().enumerate() {
+            matrix.set(i, i, self.total_conductance[i]);
+            for j in 0..n {
+                if i != j && self.conductance[i][j] > 0.0 {
+                    matrix.add_to(i, j, -self.conductance[i][j]);
+                }
+            }
+            *rhs_i = self.powers[i] + self.ambient_conductance[i] * self.ambient_celsius;
+        }
+        matrix
+            .solve(&rhs)
+            .expect("grounded thermal network has a non-singular conductance matrix")
+    }
+
+    /// Jumps the network directly to the steady state of the current
+    /// powers. Used to start experiments from a settled condition (e.g.
+    /// the idle temperature).
+    pub fn settle(&mut self) {
+        self.temperatures = self.steady_state();
+    }
+
+    /// Resets every node to ambient temperature and clears all powers.
+    pub fn reset(&mut self) {
+        for t in &mut self.temperatures {
+            *t = self.ambient_celsius;
+        }
+        for p in &mut self.powers {
+            *p = 0.0;
+        }
+    }
+
+    /// Overrides a node's temperature (for tests and checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `celsius` is not finite.
+    pub fn set_temperature(&mut self, node: NodeId, celsius: f64) {
+        assert!(celsius.is_finite(), "temperature must be finite");
+        self.temperatures[node.0] = celsius;
+    }
+
+    /// The local time constant `C_i / G_i,total` of a node in seconds: how
+    /// fast the node relaxes toward its neighbours. The die nodes' short
+    /// time constant is what makes short idle quanta disproportionately
+    /// effective (paper §3.4, Figure 3).
+    pub fn local_time_constant(&self, node: NodeId) -> f64 {
+        self.capacitances[node.0] / self.total_conductance[node.0]
+    }
+
+    /// The temperature derivative `dT/dt = C⁻¹(P − G·ΔT)` evaluated at an
+    /// arbitrary temperature vector (K/s per node). Exposed for reference
+    /// integrators and verification tooling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temps` does not have one entry per node.
+    pub fn heat_flow_derivative(&self, temps: &[f64]) -> Vec<f64> {
+        let n = self.temperatures.len();
+        assert_eq!(temps.len(), n, "temperature vector length mismatch");
+        (0..n)
+            .map(|i| {
+                let neighbour: f64 = (0..n)
+                    .map(|j| self.conductance[i][j] * (temps[j] - temps[i]))
+                    .sum();
+                let ambient =
+                    self.ambient_conductance[i] * (self.ambient_celsius - temps[i]);
+                (self.powers[i] + neighbour + ambient) / self.capacitances[i]
+            })
+            .collect()
+    }
+
+    /// Net heat flow out of the network into ambient right now, in watts.
+    pub fn heat_to_ambient(&self) -> f64 {
+        self.temperatures
+            .iter()
+            .zip(&self.ambient_conductance)
+            .map(|(&t, &g)| g * (t - self.ambient_celsius))
+            .sum()
+    }
+
+    /// Total stored thermal energy relative to ambient, in joules.
+    pub fn stored_energy(&self) -> f64 {
+        self.temperatures
+            .iter()
+            .zip(&self.capacitances)
+            .map(|(&t, &c)| c * (t - self.ambient_celsius))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// die(1 J/K) --0.5 W/K-- ambient, a pure single-pole system.
+    fn single_node() -> (ThermalNetwork, NodeId) {
+        let mut b = ThermalNetworkBuilder::new(25.0);
+        let die = b.add_node("die", 1.0);
+        b.connect_ambient(die, 0.5);
+        (b.build().unwrap(), die)
+    }
+
+    fn two_pole() -> (ThermalNetwork, NodeId, NodeId) {
+        let mut b = ThermalNetworkBuilder::new(25.0);
+        let die = b.add_node("die", 0.5);
+        let pkg = b.add_node("pkg", 100.0);
+        b.connect(die, pkg, 2.0);
+        b.connect_ambient(pkg, 1.0);
+        (b.build().unwrap(), die, pkg)
+    }
+
+    #[test]
+    fn single_node_matches_analytic_solution() {
+        let (mut net, die) = single_node();
+        net.set_power(die, 10.0);
+        // T(t) = T_amb + P/G * (1 - e^{-tG/C}); tau = C/G = 2 s.
+        for &t_s in &[0.1, 0.5, 1.0, 2.0, 5.0, 20.0] {
+            let mut n = net.clone();
+            n.advance(SimDuration::from_secs_f64(t_s));
+            let expected = 25.0 + 20.0 * (1.0 - (-t_s / 2.0).exp());
+            let got = n.temperature(die);
+            assert!(
+                (got - expected).abs() < 0.02,
+                "t={t_s}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_node_steady_state() {
+        let (mut net, die) = single_node();
+        net.set_power(die, 10.0);
+        let ss = net.steady_state();
+        assert!((ss[0] - 45.0).abs() < 1e-9); // 25 + 10/0.5
+    }
+
+    #[test]
+    fn advance_converges_to_steady_state() {
+        let (mut net, die, pkg) = two_pole();
+        net.set_power(die, 40.0);
+        let ss = net.steady_state();
+        net.advance(SimDuration::from_secs(2000));
+        assert!((net.temperature(die) - ss[0]).abs() < 0.05);
+        assert!((net.temperature(pkg) - ss[1]).abs() < 0.05);
+    }
+
+    #[test]
+    fn settle_equals_steady_state() {
+        let (mut net, die, _) = two_pole();
+        net.set_power(die, 40.0);
+        let ss = net.steady_state();
+        net.settle();
+        assert_eq!(net.temperatures(), ss.as_slice());
+    }
+
+    #[test]
+    fn die_cools_fast_package_cools_slow() {
+        // The two-time-constant structure behind Figure 3: after a short
+        // idle window the die has shed most of its excess over the package,
+        // while the package has barely moved.
+        let (mut net, die, pkg) = two_pole();
+        net.set_power(die, 40.0);
+        net.settle();
+        let die_hot = net.temperature(die);
+        let pkg_hot = net.temperature(pkg);
+        net.set_power(die, 0.0);
+        net.advance(SimDuration::from_millis(800)); // several die taus (0.2 s)
+        let die_drop = die_hot - net.temperature(die);
+        let pkg_drop = pkg_hot - net.temperature(pkg);
+        assert!(die_drop > 15.0, "die should cool fast, dropped {die_drop}");
+        assert!(pkg_drop < 1.0, "package should cool slowly, dropped {pkg_drop}");
+    }
+
+    #[test]
+    fn cooling_has_diminishing_returns_in_window_length() {
+        // Temperature drop per unit idle time decreases with window length:
+        // the physical basis of the paper's diminishing marginal benefit.
+        let (mut net, die, _) = two_pole();
+        net.set_power(die, 40.0);
+        net.settle();
+        let hot = net.temperature(die);
+        let drop_for = |ms: u64| {
+            let mut n = net.clone();
+            n.set_power(die, 0.0);
+            n.advance(SimDuration::from_millis(ms));
+            (hot - n.temperature(die)) / ms as f64
+        };
+        let per_ms_short = drop_for(50);
+        let per_ms_long = drop_for(1000);
+        assert!(
+            per_ms_short > 2.0 * per_ms_long,
+            "short windows should cool more per ms: {per_ms_short} vs {per_ms_long}"
+        );
+    }
+
+    #[test]
+    fn local_time_constants() {
+        let (net, die, pkg) = two_pole();
+        assert!((net.local_time_constant(die) - 0.25).abs() < 1e-12); // 0.5/2.0
+        assert!((net.local_time_constant(pkg) - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heat_balance_at_steady_state() {
+        let (mut net, die, _) = two_pole();
+        net.set_power(die, 40.0);
+        net.settle();
+        // At steady state all injected heat leaves to ambient.
+        assert!((net.heat_to_ambient() - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn energy_conservation_during_transient() {
+        // Injected energy = stored energy change + energy shed to ambient.
+        let (mut net, die, _) = two_pole();
+        net.set_power(die, 40.0);
+        let dt = SimDuration::from_millis(10);
+        let mut shed = 0.0;
+        let e0 = net.stored_energy();
+        for _ in 0..1000 {
+            // Trapezoid on the ambient flow across the step.
+            let flow_before = net.heat_to_ambient();
+            net.advance(dt);
+            let flow_after = net.heat_to_ambient();
+            shed += 0.5 * (flow_before + flow_after) * dt.as_secs_f64();
+        }
+        let injected = 40.0 * 10.0; // 40 W for 10 s
+        let delta_stored = net.stored_energy() - e0;
+        let balance = injected - delta_stored - shed;
+        assert!(
+            balance.abs() < injected * 0.01,
+            "energy imbalance {balance} of {injected}"
+        );
+    }
+
+    #[test]
+    fn reset_returns_to_ambient() {
+        let (mut net, die, _) = two_pole();
+        net.set_power(die, 40.0);
+        net.advance(SimDuration::from_secs(10));
+        net.reset();
+        assert!(net.temperatures().iter().all(|&t| t == 25.0));
+        assert_eq!(net.power(die), 0.0);
+    }
+
+    #[test]
+    fn build_rejects_empty() {
+        assert_eq!(ThermalNetworkBuilder::new(25.0).build(), Err(ThermalError::Empty));
+    }
+
+    #[test]
+    fn build_rejects_bad_capacitance() {
+        let mut b = ThermalNetworkBuilder::new(25.0);
+        b.add_node("die", 0.0);
+        assert!(matches!(
+            b.build(),
+            Err(ThermalError::BadNodeParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn build_rejects_ungrounded_node() {
+        let mut b = ThermalNetworkBuilder::new(25.0);
+        let a = b.add_node("a", 1.0);
+        let c = b.add_node("floating", 1.0);
+        b.connect_ambient(a, 1.0);
+        let _ = c;
+        match b.build() {
+            Err(ThermalError::NotGroundedToAmbient { nodes }) => {
+                assert_eq!(nodes, vec!["floating".to_string()]);
+            }
+            other => panic!("expected NotGroundedToAmbient, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn build_rejects_self_loop() {
+        let mut b = ThermalNetworkBuilder::new(25.0);
+        let a = b.add_node("a", 1.0);
+        b.connect(a, a, 1.0);
+        b.connect_ambient(a, 1.0);
+        assert!(matches!(b.build(), Err(ThermalError::BadConductance { .. })));
+    }
+
+    #[test]
+    fn build_rejects_nonpositive_conductance() {
+        let mut b = ThermalNetworkBuilder::new(25.0);
+        let a = b.add_node("a", 1.0);
+        b.connect_ambient(a, -1.0);
+        assert!(matches!(b.build(), Err(ThermalError::BadConductance { .. })));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = ThermalError::NotGroundedToAmbient {
+            nodes: vec!["die0".into()],
+        };
+        assert!(err.to_string().contains("die0"));
+    }
+
+    #[test]
+    fn advance_zero_is_noop() {
+        let (mut net, die, _) = two_pole();
+        net.set_power(die, 40.0);
+        let before = net.temperatures().to_vec();
+        net.advance(SimDuration::ZERO);
+        assert_eq!(net.temperatures(), before.as_slice());
+    }
+
+    #[test]
+    fn step_size_independence() {
+        // Advancing 10 s in one call or in 1000 calls must agree (the
+        // scheduler produces irregular event-driven step sizes).
+        let (mut a, die, _) = two_pole();
+        a.set_power(die, 40.0);
+        let mut b = a.clone();
+        a.advance(SimDuration::from_secs(10));
+        for _ in 0..1000 {
+            b.advance(SimDuration::from_millis(10));
+        }
+        // The exponential-Euler coupling error differs slightly between
+        // step patterns; a few hundredths of a degree on a ~25 degree rise
+        // is far below anything the experiments resolve.
+        for (x, y) in a.temperatures().iter().zip(b.temperatures()) {
+            assert!((x - y).abs() < 0.05, "{x} vs {y}");
+        }
+    }
+
+    proptest! {
+        // The integration proptests advance hundreds of simulated seconds
+        // per case; a few dozen cases give the coverage without minutes of
+        // wall clock.
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Temperatures never escape the [ambient, max steady state]
+        /// envelope when heating from ambient.
+        #[test]
+        fn prop_temperatures_bounded(power in 0.0f64..200.0, secs in 0u64..500) {
+            let (mut net, die, _) = two_pole();
+            net.set_power(die, power);
+            let ss_max = net.steady_state().iter().copied().fold(f64::MIN, f64::max);
+            net.advance(SimDuration::from_secs(secs));
+            for &t in net.temperatures() {
+                prop_assert!(t >= 25.0 - 1e-9);
+                prop_assert!(t <= ss_max + 1e-6);
+            }
+        }
+
+        /// More power never produces lower temperatures (monotonicity).
+        #[test]
+        fn prop_monotone_in_power(p1 in 0.0f64..100.0, extra in 0.1f64..100.0, secs in 1u64..200) {
+            let (mut low, die, _) = two_pole();
+            let mut high = low.clone();
+            low.set_power(die, p1);
+            high.set_power(die, p1 + extra);
+            low.advance(SimDuration::from_secs(secs));
+            high.advance(SimDuration::from_secs(secs));
+            for (&l, &h) in low.temperatures().iter().zip(high.temperatures()) {
+                prop_assert!(h >= l - 1e-9, "power monotonicity violated: {} vs {}", l, h);
+            }
+        }
+
+        /// Steady state is invariant to how you reach it.
+        #[test]
+        fn prop_steady_state_is_attractor(power in 1.0f64..100.0, init in -20.0f64..150.0) {
+            let (mut net, die, pkg) = two_pole();
+            net.set_power(die, power);
+            net.set_temperature(die, init);
+            net.set_temperature(pkg, init);
+            let ss = net.steady_state();
+            net.advance(SimDuration::from_secs(3000));
+            prop_assert!((net.temperature(die) - ss[0]).abs() < 0.1);
+            prop_assert!((net.temperature(pkg) - ss[1]).abs() < 0.1);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Step-response characterisation helpers.
+//!
+//! These utilities probe a [`ThermalNetwork`](crate::ThermalNetwork) the way
+//! the paper probes hardware: drive it with a power step and record the
+//! trajectory, or measure how much a hot node cools during an idle window
+//! of a given length. The latter is the physical quantity behind Figure 3's
+//! efficiency curves.
+
+use dimetrodon_sim_core::{SimDuration, SimTime, TimeSeries};
+
+use crate::network::{NodeId, ThermalNetwork};
+
+/// Records a node's temperature trajectory while a constant power is
+/// applied to it, sampling every `sample_every`.
+///
+/// The network is cloned; the caller's instance is not modified.
+///
+/// # Panics
+///
+/// Panics if `sample_every` is zero.
+pub fn step_response(
+    network: &ThermalNetwork,
+    node: NodeId,
+    power_w: f64,
+    duration: SimDuration,
+    sample_every: SimDuration,
+) -> TimeSeries {
+    assert!(!sample_every.is_zero(), "sample interval must be positive");
+    let mut net = network.clone();
+    net.set_power(node, power_w);
+    let mut series = TimeSeries::new(format!("{}_step", net.node_name(node)));
+    let mut now = SimTime::ZERO;
+    let end = SimTime::ZERO + duration;
+    series.push(now, net.temperature(node));
+    while now < end {
+        net.advance(sample_every);
+        now += sample_every;
+        series.push(now, net.temperature(node));
+    }
+    series
+}
+
+/// How far a node's temperature falls during an idle window of length
+/// `window`, starting from the steady state of `hot_power_w` applied at the
+/// node, in °C.
+///
+/// The network is cloned; the caller's instance is not modified.
+pub fn cooling_drop(
+    network: &ThermalNetwork,
+    node: NodeId,
+    hot_power_w: f64,
+    idle_power_w: f64,
+    window: SimDuration,
+) -> f64 {
+    let mut net = network.clone();
+    net.set_power(node, hot_power_w);
+    net.settle();
+    let hot = net.temperature(node);
+    net.set_power(node, idle_power_w);
+    net.advance(window);
+    hot - net.temperature(node)
+}
+
+/// Cooling efficiency of an idle window: temperature drop per second of
+/// idle time (°C/s). Short windows score higher on a network with a fast
+/// die pole — the paper's central observation.
+pub fn cooling_efficiency(
+    network: &ThermalNetwork,
+    node: NodeId,
+    hot_power_w: f64,
+    idle_power_w: f64,
+    window: SimDuration,
+) -> f64 {
+    cooling_drop(network, node, hot_power_w, idle_power_w, window) / window.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::ThermalNetworkBuilder;
+
+    fn die_pkg() -> (ThermalNetwork, NodeId) {
+        let mut b = ThermalNetworkBuilder::new(25.0);
+        let die = b.add_node("die", 0.5);
+        let pkg = b.add_node("pkg", 100.0);
+        b.connect(die, pkg, 2.0);
+        b.connect_ambient(pkg, 1.0);
+        (b.build().unwrap(), die)
+    }
+
+    #[test]
+    fn step_response_rises_monotonically() {
+        let (net, die) = die_pkg();
+        let series = step_response(
+            &net,
+            die,
+            40.0,
+            SimDuration::from_secs(10),
+            SimDuration::from_millis(100),
+        );
+        let values: Vec<f64> = series.iter().map(|(_, v)| v).collect();
+        assert!(values.windows(2).all(|w| w[1] >= w[0] - 1e-9));
+        assert!(values[0] == 25.0);
+        assert!(*values.last().unwrap() > 40.0);
+    }
+
+    #[test]
+    fn step_response_sample_count() {
+        let (net, die) = die_pkg();
+        let series = step_response(
+            &net,
+            die,
+            10.0,
+            SimDuration::from_secs(1),
+            SimDuration::from_millis(100),
+        );
+        assert_eq!(series.len(), 11); // t=0 plus 10 samples
+    }
+
+    #[test]
+    fn cooling_drop_increases_with_window() {
+        let (net, die) = die_pkg();
+        let short = cooling_drop(&net, die, 40.0, 0.0, SimDuration::from_millis(25));
+        let long = cooling_drop(&net, die, 40.0, 0.0, SimDuration::from_millis(500));
+        assert!(long > short);
+    }
+
+    #[test]
+    fn cooling_efficiency_favours_short_windows() {
+        // Figure 3's physical basis: °C of cooling per idle second falls
+        // as the window grows.
+        let (net, die) = die_pkg();
+        let e_short = cooling_efficiency(&net, die, 40.0, 0.0, SimDuration::from_millis(10));
+        let e_mid = cooling_efficiency(&net, die, 40.0, 0.0, SimDuration::from_millis(100));
+        let e_long = cooling_efficiency(&net, die, 40.0, 0.0, SimDuration::from_millis(1000));
+        assert!(e_short > e_mid && e_mid > e_long, "{e_short} > {e_mid} > {e_long}");
+    }
+
+    #[test]
+    fn probes_do_not_mutate_input() {
+        let (mut net, die) = die_pkg();
+        net.set_power(die, 40.0);
+        net.settle();
+        let before = net.temperatures().to_vec();
+        let _ = step_response(&net, die, 80.0, SimDuration::from_secs(1), SimDuration::from_millis(100));
+        let _ = cooling_drop(&net, die, 40.0, 0.0, SimDuration::from_millis(100));
+        assert_eq!(net.temperatures(), before.as_slice());
+    }
+
+    #[test]
+    fn idle_power_reduces_cooling() {
+        let (net, die) = die_pkg();
+        let full = cooling_drop(&net, die, 40.0, 0.0, SimDuration::from_millis(200));
+        let partial = cooling_drop(&net, die, 40.0, 20.0, SimDuration::from_millis(200));
+        assert!(full > partial);
+    }
+}

@@ -1,0 +1,120 @@
+//! The `cpuburn` worst-case thermal stressor.
+//!
+//! The paper validates its models and characterises the system with
+//! Redelmeier's `cpuburn` (`burnP6`): "a single-threaded infinite loop
+//! containing a compact sequence of x86 instructions designed to thermally
+//! stress test processors" (§3.3). The simulated equivalent is a thread at
+//! peak activity — infinite for the characterisation experiments, finite
+//! (known CPU demand `R`) for the model-validation experiments.
+
+use dimetrodon_sched::{Action, Burst, ThreadBody};
+use dimetrodon_sim_core::{SimDuration, SimTime};
+
+/// The paper's thermal stress test: runs at peak activity.
+///
+/// # Examples
+///
+/// ```
+/// use dimetrodon_workload::CpuBurn;
+/// use dimetrodon_sim_core::SimDuration;
+///
+/// // The §3.3 "finite loop of cpuburn instructions with a runtime of
+/// // 7 seconds".
+/// let body = CpuBurn::finite(SimDuration::from_secs(7));
+/// assert_eq!(body.remaining(), Some(SimDuration::from_secs(7)));
+///
+/// let forever = CpuBurn::infinite();
+/// assert_eq!(forever.remaining(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuBurn {
+    /// `None` = infinite.
+    remaining: Option<SimDuration>,
+    burst: SimDuration,
+}
+
+impl CpuBurn {
+    /// `cpuburn` saturates the pipeline: peak activity.
+    pub const ACTIVITY: f64 = 1.0;
+    /// Work-unit granularity (one loop iteration batch).
+    const BURST: SimDuration = SimDuration::from_millis(10);
+
+    /// The infinite stressor used for system characterisation (§3.4).
+    pub fn infinite() -> Self {
+        CpuBurn {
+            remaining: None,
+            burst: Self::BURST,
+        }
+    }
+
+    /// A finite loop with known CPU demand, used for model validation
+    /// (§3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero.
+    pub fn finite(total: SimDuration) -> Self {
+        assert!(!total.is_zero(), "finite cpuburn needs positive work");
+        CpuBurn {
+            remaining: Some(total),
+            burst: Self::BURST,
+        }
+    }
+
+    /// CPU time left, or `None` for the infinite variant.
+    pub fn remaining(&self) -> Option<SimDuration> {
+        self.remaining
+    }
+}
+
+impl ThreadBody for CpuBurn {
+    fn next_action(&mut self, _now: SimTime) -> Action {
+        match &mut self.remaining {
+            None => Action::Run(Burst::new(self.burst, Self::ACTIVITY)),
+            Some(rem) => {
+                if rem.is_zero() {
+                    return Action::Exit;
+                }
+                let chunk = (*rem).min(self.burst);
+                *rem -= chunk;
+                Action::Run(Burst::new(chunk, Self::ACTIVITY))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinite_never_exits() {
+        let mut b = CpuBurn::infinite();
+        for _ in 0..1000 {
+            match b.next_action(SimTime::ZERO) {
+                Action::Run(burst) => assert_eq!(burst.activity, 1.0),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn finite_consumes_exact_total() {
+        let mut b = CpuBurn::finite(SimDuration::from_millis(35));
+        let mut total = SimDuration::ZERO;
+        loop {
+            match b.next_action(SimTime::ZERO) {
+                Action::Run(burst) => total += burst.cpu_time,
+                Action::Exit => break,
+                Action::Sleep(_) => panic!("cpuburn never sleeps"),
+            }
+        }
+        assert_eq!(total, SimDuration::from_millis(35));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive work")]
+    fn zero_total_panics() {
+        CpuBurn::finite(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,363 @@
+//! Trace-driven workloads: replay a recorded activity profile.
+//!
+//! The SPEC-like profiles are synthetic because SPEC inputs are not
+//! available; a user who *does* have a profile of their application —
+//! e.g. `(cpu-milliseconds, activity)` phases from a performance-counter
+//! trace, with sleeps for its I/O waits — can replay it directly and ask
+//! how a Dimetrodon policy would treat it. Phases are tied to CPU
+//! progress, as real program behaviour is, so injection stretches the
+//! replay without distorting it.
+
+use std::fmt;
+use std::str::FromStr;
+
+use dimetrodon_sched::{Action, Burst, ThreadBody};
+use dimetrodon_sim_core::{SimDuration, SimTime};
+
+/// One phase of a recorded profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Phase {
+    /// Execute this much CPU time at this activity factor.
+    Compute {
+        /// CPU demand of the phase.
+        cpu: SimDuration,
+        /// Switching activity during the phase.
+        activity: f64,
+    },
+    /// Block for this long (I/O, synchronisation).
+    Wait {
+        /// Wall-clock wait.
+        duration: SimDuration,
+    },
+}
+
+/// A recorded workload profile: an ordered list of phases, optionally
+/// looped.
+///
+/// # Examples
+///
+/// Parse the simple text format (`compute <ms> <activity>` /
+/// `wait <ms>`, one phase per line, `#` comments):
+///
+/// ```
+/// use dimetrodon_workload::WorkloadProfile;
+///
+/// let profile: WorkloadProfile = "\
+///     ## transcode one frame, then flush
+///     compute 40 0.9
+///     wait 10
+/// ".parse()?;
+/// assert_eq!(profile.phases().len(), 2);
+/// # Ok::<(), dimetrodon_workload::ParseProfileError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    phases: Vec<Phase>,
+}
+
+/// Errors parsing the profile text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProfileError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "profile line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseProfileError {}
+
+impl WorkloadProfile {
+    /// Creates a profile from phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty, any duration is zero, or any
+    /// activity is outside `[0, 1]`.
+    pub fn new(phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "profile needs at least one phase");
+        for phase in &phases {
+            match *phase {
+                Phase::Compute { cpu, activity } => {
+                    assert!(!cpu.is_zero(), "compute phase needs positive CPU time");
+                    assert!(
+                        (0.0..=1.0).contains(&activity),
+                        "activity must be in [0, 1]"
+                    );
+                }
+                Phase::Wait { duration } => {
+                    assert!(!duration.is_zero(), "wait phase needs positive duration");
+                }
+            }
+        }
+        WorkloadProfile { phases }
+    }
+
+    /// The phases.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Total CPU demand of one pass through the profile.
+    pub fn total_cpu(&self) -> SimDuration {
+        self.phases
+            .iter()
+            .map(|p| match *p {
+                Phase::Compute { cpu, .. } => cpu,
+                Phase::Wait { .. } => SimDuration::ZERO,
+            })
+            .sum()
+    }
+
+    /// A body that plays the profile once and exits.
+    pub fn once(&self) -> ReplayBody {
+        ReplayBody::new(self.clone(), false)
+    }
+
+    /// A body that replays the profile forever.
+    pub fn looped(&self) -> ReplayBody {
+        ReplayBody::new(self.clone(), true)
+    }
+}
+
+impl FromStr for WorkloadProfile {
+    type Err = ParseProfileError;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        let mut phases = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut parts = trimmed.split_whitespace();
+            let err = |reason: String| ParseProfileError { line, reason };
+            match parts.next() {
+                Some("compute") => {
+                    let ms: f64 = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&v| v > 0.0)
+                        .ok_or_else(|| err("compute needs a positive duration in ms".into()))?;
+                    let activity: f64 = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|v| (0.0..=1.0).contains(v))
+                        .ok_or_else(|| err("compute needs an activity in [0, 1]".into()))?;
+                    phases.push(Phase::Compute {
+                        cpu: SimDuration::from_millis_f64(ms),
+                        activity,
+                    });
+                }
+                Some("wait") => {
+                    let ms: f64 = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&v| v > 0.0)
+                        .ok_or_else(|| err("wait needs a positive duration in ms".into()))?;
+                    phases.push(Phase::Wait {
+                        duration: SimDuration::from_millis_f64(ms),
+                    });
+                }
+                Some(other) => {
+                    return Err(err(format!(
+                        "unknown phase kind `{other}` (expected compute | wait)"
+                    )))
+                }
+                None => unreachable!("blank lines are skipped"),
+            }
+            if parts.next().is_some() {
+                return Err(err("trailing tokens".into()));
+            }
+        }
+        if phases.is_empty() {
+            return Err(ParseProfileError {
+                line: 0,
+                reason: "profile has no phases".into(),
+            });
+        }
+        Ok(WorkloadProfile { phases })
+    }
+}
+
+/// A running replay of a [`WorkloadProfile`].
+#[derive(Debug, Clone)]
+pub struct ReplayBody {
+    profile: WorkloadProfile,
+    looped: bool,
+    phase: usize,
+    remaining: SimDuration,
+    burst: SimDuration,
+}
+
+impl ReplayBody {
+    fn new(profile: WorkloadProfile, looped: bool) -> Self {
+        let first = match profile.phases[0] {
+            Phase::Compute { cpu, .. } => cpu,
+            Phase::Wait { .. } => SimDuration::ZERO,
+        };
+        ReplayBody {
+            profile,
+            looped,
+            phase: 0,
+            remaining: first,
+            burst: SimDuration::from_millis(10),
+        }
+    }
+
+    fn advance_phase(&mut self) -> Option<Phase> {
+        self.phase += 1;
+        if self.phase >= self.profile.phases.len() {
+            if !self.looped {
+                return None;
+            }
+            self.phase = 0;
+        }
+        let phase = self.profile.phases[self.phase];
+        if let Phase::Compute { cpu, .. } = phase {
+            self.remaining = cpu;
+        }
+        Some(phase)
+    }
+}
+
+impl ThreadBody for ReplayBody {
+    fn next_action(&mut self, _now: SimTime) -> Action {
+        loop {
+            match self.profile.phases[self.phase] {
+                Phase::Compute { activity, .. } => {
+                    if self.remaining.is_zero() {
+                        match self.advance_phase() {
+                            None => return Action::Exit,
+                            Some(Phase::Wait { duration }) => return Action::Sleep(duration),
+                            Some(Phase::Compute { .. }) => continue,
+                        }
+                    }
+                    let chunk = self.remaining.min(self.burst);
+                    self.remaining -= chunk;
+                    return Action::Run(Burst::new(chunk, activity));
+                }
+                Phase::Wait { .. } => {
+                    // The wait was issued when we entered this phase; move
+                    // on.
+                    match self.advance_phase() {
+                        None => return Action::Exit,
+                        Some(Phase::Wait { duration }) => return Action::Sleep(duration),
+                        Some(Phase::Compute { .. }) => continue,
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> WorkloadProfile {
+        WorkloadProfile::new(vec![
+            Phase::Compute {
+                cpu: SimDuration::from_millis(25),
+                activity: 0.8,
+            },
+            Phase::Wait {
+                duration: SimDuration::from_millis(100),
+            },
+            Phase::Compute {
+                cpu: SimDuration::from_millis(15),
+                activity: 0.4,
+            },
+        ])
+    }
+
+    #[test]
+    fn once_plays_phases_then_exits() {
+        let mut body = profile().once();
+        let mut cpu = SimDuration::ZERO;
+        let mut sleeps = 0;
+        loop {
+            match body.next_action(SimTime::ZERO) {
+                Action::Run(b) => cpu += b.cpu_time,
+                Action::Sleep(d) => {
+                    assert_eq!(d, SimDuration::from_millis(100));
+                    sleeps += 1;
+                }
+                Action::Exit => break,
+            }
+        }
+        assert_eq!(cpu, SimDuration::from_millis(40));
+        assert_eq!(sleeps, 1);
+    }
+
+    #[test]
+    fn looped_repeats() {
+        let mut body = profile().looped();
+        let mut exits = 0;
+        let mut sleeps = 0;
+        for _ in 0..200 {
+            match body.next_action(SimTime::ZERO) {
+                Action::Exit => exits += 1,
+                Action::Sleep(_) => sleeps += 1,
+                Action::Run(_) => {}
+            }
+        }
+        assert_eq!(exits, 0);
+        assert!(sleeps >= 2, "loop should revisit the wait phase");
+    }
+
+    #[test]
+    fn activities_follow_phases() {
+        let mut body = profile().once();
+        let mut activities = Vec::new();
+        loop {
+            match body.next_action(SimTime::ZERO) {
+                Action::Run(b) => activities.push(b.activity),
+                Action::Sleep(_) => {}
+                Action::Exit => break,
+            }
+        }
+        assert!(activities.starts_with(&[0.8]));
+        assert!(activities.ends_with(&[0.4]));
+    }
+
+    #[test]
+    fn parses_text_format() {
+        let p: WorkloadProfile = "\n# comment\ncompute 40 0.9\nwait 10\ncompute 5.5 0.2\n"
+            .parse()
+            .unwrap();
+        assert_eq!(p.phases().len(), 3);
+        assert_eq!(p.total_cpu(), SimDuration::from_micros(45_500));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = "compute 40 0.9\nfrobnicate 1".parse::<WorkloadProfile>().unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("frobnicate"));
+
+        let err = "compute -4 0.9".parse::<WorkloadProfile>().unwrap_err();
+        assert_eq!(err.line, 1);
+
+        let err = "compute 40 1.5".parse::<WorkloadProfile>().unwrap_err();
+        assert!(err.reason.contains("activity"));
+
+        let err = "wait 10 extra".parse::<WorkloadProfile>().unwrap_err();
+        assert!(err.reason.contains("trailing"));
+
+        let err = "# only comments".parse::<WorkloadProfile>().unwrap_err();
+        assert!(err.reason.contains("no phases"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_profile_panics() {
+        WorkloadProfile::new(vec![]);
+    }
+}

@@ -1,0 +1,334 @@
+//! The latency-sensitive web-serving workload (§3.7).
+//!
+//! The paper runs SPECWeb2005's eCommerce workload: 440 simultaneous
+//! connections from two clients, producing 15–25 % load per core and a
+//! ~6 °C unconstrained temperature rise, scored against the benchmark's
+//! QoS thresholds — "good" (≤ 3 s response) and "tolerable" (≤ 5 s).
+//!
+//! The simulated equivalent is an open-loop connection model: each
+//! connection thread thinks (exponentially distributed), then issues a
+//! request whose service burst runs on the server. Response time is
+//! measured from the instant the request is issued to the completion of
+//! its service burst — so runqueue waiting *and injected idle quanta*
+//! count against it, which reproduces the deferral feedback the paper
+//! describes (delayed requests raise later load).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dimetrodon_sched::{Action, Burst, ThreadBody};
+use dimetrodon_sim_core::{SimDuration, SimRng, SimTime};
+
+/// Configuration of the web workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WebConfig {
+    /// Simultaneous connections (the paper: 440).
+    pub connections: usize,
+    /// Mean think time between a connection's requests.
+    pub mean_think_time: SimDuration,
+    /// Mean CPU demand of one request's service.
+    pub mean_service_cpu: SimDuration,
+    /// Activity factor of service code (web serving is less dense than
+    /// cpuburn).
+    pub service_activity: f64,
+    /// The "good" QoS threshold (the paper: 3 s).
+    pub good_threshold: SimDuration,
+    /// The "tolerable" QoS threshold (the paper: 5 s).
+    pub tolerable_threshold: SimDuration,
+}
+
+impl WebConfig {
+    /// The paper's SPECWeb-like setup: 440 connections with SPECWeb2005-
+    /// scale think times and eCommerce page weights, sized to put
+    /// 15–25 % load on each of four cores.
+    ///
+    /// Load arithmetic: 440 connections × (60 ms service / ~30.06 s
+    /// cycle) ≈ 0.88 busy core-seconds per second ≈ 22 % per core.
+    pub fn paper_setup() -> Self {
+        WebConfig {
+            connections: 440,
+            mean_think_time: SimDuration::from_secs(30),
+            mean_service_cpu: SimDuration::from_millis(60),
+            service_activity: 0.85,
+            good_threshold: SimDuration::from_secs(3),
+            tolerable_threshold: SimDuration::from_secs(5),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any duration is zero, `connections` is zero, activity is
+    /// out of range, or the thresholds are not ordered
+    /// `good <= tolerable`.
+    pub fn validate(&self) {
+        assert!(self.connections > 0, "need at least one connection");
+        assert!(!self.mean_think_time.is_zero(), "think time must be positive");
+        assert!(!self.mean_service_cpu.is_zero(), "service time must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.service_activity),
+            "activity must be in [0, 1]"
+        );
+        assert!(
+            self.good_threshold <= self.tolerable_threshold,
+            "good threshold must not exceed tolerable"
+        );
+    }
+}
+
+/// Aggregated request latencies, scored against the QoS thresholds.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct QosStats {
+    latencies: Vec<f64>,
+    good: u64,
+    tolerable: u64,
+    failed: u64,
+}
+
+impl QosStats {
+    fn record(&mut self, latency: SimDuration, config: &WebConfig) {
+        self.latencies.push(latency.as_secs_f64());
+        if latency <= config.good_threshold {
+            self.good += 1;
+        } else if latency <= config.tolerable_threshold {
+            self.tolerable += 1;
+        } else {
+            self.failed += 1;
+        }
+    }
+
+    /// The raw response latencies, in seconds, in completion order.
+    pub fn latencies(&self) -> &[f64] {
+        &self.latencies
+    }
+
+    /// Total completed requests.
+    pub fn total(&self) -> u64 {
+        self.good + self.tolerable + self.failed
+    }
+
+    /// Fraction of requests meeting the "good" (3 s) threshold.
+    pub fn good_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        self.good as f64 / self.total() as f64
+    }
+
+    /// Fraction meeting the "tolerable" (5 s) threshold (good requests
+    /// count as tolerable too).
+    pub fn tolerable_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.good + self.tolerable) as f64 / self.total() as f64
+    }
+
+    /// Mean response latency in seconds, if any requests completed.
+    pub fn mean_latency(&self) -> Option<f64> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        Some(self.latencies.iter().sum::<f64>() / self.latencies.len() as f64)
+    }
+
+    /// A latency percentile in `[0, 100]`, if any requests completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct` is outside `[0, 100]`.
+    pub fn latency_percentile(&self, pct: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&pct), "percentile out of range");
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+        let idx = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        Some(sorted[idx])
+    }
+}
+
+/// Shared handle onto the workload's accumulated QoS statistics.
+#[derive(Debug, Clone, Default)]
+pub struct QosHandle(Rc<RefCell<QosStats>>);
+
+impl QosHandle {
+    /// Creates an empty stats accumulator.
+    pub fn new() -> Self {
+        QosHandle::default()
+    }
+
+    /// A snapshot of the statistics so far.
+    pub fn snapshot(&self) -> QosStats {
+        self.0.borrow().clone()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Not yet started: the first action sleeps a random think time so
+    /// the connection population starts phase-staggered (without this,
+    /// all connections would issue their first request simultaneously —
+    /// a thundering herd no steady-state benchmark exhibits).
+    Starting,
+    /// Waiting out think time; next action issues a request.
+    Thinking,
+    /// A request issued at the stored instant is being serviced.
+    InService { issued_at: SimTime },
+}
+
+/// One web connection: think, request, measure, repeat.
+///
+/// Spawn one per configured connection (see
+/// [`spawn_web_workload`](crate::spawn_web_workload) for the convenience
+/// wrapper).
+#[derive(Debug)]
+pub struct Connection {
+    config: WebConfig,
+    stats: QosHandle,
+    rng: SimRng,
+    phase: Phase,
+}
+
+impl Connection {
+    /// Creates a connection with its own think/service randomness.
+    pub fn new(config: WebConfig, stats: QosHandle, rng: SimRng) -> Self {
+        config.validate();
+        Connection {
+            config,
+            stats,
+            rng,
+            phase: Phase::Starting,
+        }
+    }
+
+    fn think_time(&mut self) -> SimDuration {
+        SimDuration::from_secs_f64(
+            self.rng
+                .exponential(self.config.mean_think_time.as_secs_f64()),
+        )
+        .max(SimDuration::from_millis(1))
+    }
+}
+
+impl ThreadBody for Connection {
+    fn next_action(&mut self, now: SimTime) -> Action {
+        match self.phase {
+            Phase::Starting => {
+                self.phase = Phase::Thinking;
+                Action::Sleep(self.think_time())
+            }
+            Phase::Thinking => {
+                // Think time has elapsed (or this is the first call):
+                // issue a request now.
+                self.phase = Phase::InService { issued_at: now };
+                let cpu =
+                    SimDuration::from_secs_f64(self.rng.exponential(
+                        self.config.mean_service_cpu.as_secs_f64(),
+                    ))
+                    .max(SimDuration::from_micros(100));
+                Action::Run(Burst::new(cpu, self.config.service_activity))
+            }
+            Phase::InService { issued_at } => {
+                // The service burst just completed: the response is out.
+                let latency = now.saturating_since(issued_at);
+                self.stats.0.borrow_mut().record(latency, &self.config);
+                self.phase = Phase::Thinking;
+                Action::Sleep(self.think_time())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> WebConfig {
+        WebConfig::paper_setup()
+    }
+
+    #[test]
+    fn paper_setup_load_is_15_to_25_percent_per_core() {
+        let c = config();
+        let cycle = c.mean_think_time.as_secs_f64() + c.mean_service_cpu.as_secs_f64();
+        let busy_per_sec = c.connections as f64 * c.mean_service_cpu.as_secs_f64() / cycle;
+        let per_core = busy_per_sec / 4.0;
+        assert!(
+            (0.15..0.25).contains(&per_core),
+            "per-core load {per_core} outside the paper's band"
+        );
+    }
+
+    #[test]
+    fn connection_staggers_then_alternates_service_and_think() {
+        let mut conn = Connection::new(config(), QosHandle::new(), SimRng::new(1));
+        let a0 = conn.next_action(SimTime::ZERO);
+        assert!(matches!(a0, Action::Sleep(_)), "first action staggers");
+        let a1 = conn.next_action(SimTime::from_secs(3));
+        assert!(matches!(a1, Action::Run(_)));
+        let a2 = conn.next_action(SimTime::from_secs(3) + SimDuration::from_millis(30));
+        assert!(matches!(a2, Action::Sleep(_)));
+        let a3 = conn.next_action(SimTime::from_secs(30));
+        assert!(matches!(a3, Action::Run(_)));
+    }
+
+    #[test]
+    fn latency_is_measured_from_issue_to_completion() {
+        let stats = QosHandle::new();
+        let mut conn = Connection::new(config(), stats.clone(), SimRng::new(2));
+        let _ = conn.next_action(SimTime::ZERO); // initial stagger sleep
+        let _ = conn.next_action(SimTime::ZERO); // request issued at t=0
+        let _ = conn.next_action(SimTime::from_secs(4)); // completed at t=4
+        let snap = stats.snapshot();
+        assert_eq!(snap.total(), 1);
+        assert!((snap.mean_latency().unwrap() - 4.0).abs() < 1e-9);
+        // 4 s: not good, but tolerable.
+        assert_eq!(snap.good_fraction(), 0.0);
+        assert_eq!(snap.tolerable_fraction(), 1.0);
+    }
+
+    #[test]
+    fn qos_thresholds_bucket_correctly() {
+        let c = config();
+        let mut stats = QosStats::default();
+        stats.record(SimDuration::from_secs(1), &c); // good
+        stats.record(SimDuration::from_secs(4), &c); // tolerable
+        stats.record(SimDuration::from_secs(9), &c); // failed
+        assert_eq!(stats.total(), 3);
+        assert!((stats.good_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((stats.tolerable_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles() {
+        let c = config();
+        let mut stats = QosStats::default();
+        for ms in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            stats.record(SimDuration::from_millis(ms), &c);
+        }
+        assert!((stats.latency_percentile(0.0).unwrap() - 0.01).abs() < 1e-9);
+        assert!((stats.latency_percentile(100.0).unwrap() - 0.1).abs() < 1e-9);
+        let p50 = stats.latency_percentile(50.0).unwrap();
+        assert!((0.04..=0.07).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = QosStats::default();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.good_fraction(), 0.0);
+        assert_eq!(s.mean_latency(), None);
+        assert_eq!(s.latency_percentile(50.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "good threshold must not exceed tolerable")]
+    fn bad_thresholds_panic() {
+        let mut c = config();
+        c.good_threshold = SimDuration::from_secs(6);
+        c.validate();
+    }
+}

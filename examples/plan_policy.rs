@@ -1,0 +1,70 @@
+//! Plan a policy from an operator target, then verify it on the machine.
+//!
+//! Uses the [`PolicyPlanner`](dimetrodon_repro::policy::PolicyPlanner) to
+//! invert the paper's models: "give up at most 10 % throughput" becomes a
+//! concrete `(p, L)`, which is then run on the simulated platform and
+//! checked against the prediction.
+//!
+//! ```text
+//! cargo run --release --example plan_policy
+//! ```
+
+use dimetrodon_repro::harness::{characterize, Actuation, RunConfig, SaturatingWorkload};
+use dimetrodon_repro::policy::model::predicted_throughput_reduction;
+use dimetrodon_repro::policy::{InjectionModel, PolicyPlanner, PowerLawTradeoff};
+use dimetrodon_repro::sim::SimDuration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Calibrate the planner with the paper's Table 1 cpuburn fit.
+    let planner = PolicyPlanner::new(SimDuration::from_millis(100))
+        .with_tradeoff(PowerLawTradeoff {
+            alpha: 1.092,
+            beta: 1.541,
+        });
+
+    let budget = 0.10;
+    let params = planner.for_throughput_budget(budget)?;
+    println!(
+        "throughput budget {:.0}% -> plan: {params} \
+         (predicted spend {:.1}%)",
+        budget * 100.0,
+        predicted_throughput_reduction(0.1, params.p(), params.quantum().as_secs_f64()) * 100.0,
+    );
+
+    let config = RunConfig::quick(7);
+    println!(
+        "\nverifying on the simulated machine ({} s cpuburn x4)...",
+        config.duration.as_secs_f64()
+    );
+    let base = characterize(SaturatingWorkload::CpuBurn, Actuation::None, config);
+    let run = characterize(
+        SaturatingWorkload::CpuBurn,
+        Actuation::Injection {
+            params,
+            model: InjectionModel::Probabilistic,
+        },
+        config,
+    );
+    println!(
+        "measured: {:.1}% throughput reduction, {:.1}% temperature reduction \
+         ({:.1}:1 efficiency)",
+        run.throughput_reduction_vs(&base) * 100.0,
+        run.temp_reduction_vs(&base) * 100.0,
+        run.temp_reduction_vs(&base) / run.throughput_reduction_vs(&base).max(1e-9),
+    );
+
+    let target = 0.25;
+    let for_temp = planner.for_temperature_reduction(target)?;
+    println!(
+        "\ntemperature target {:.0}% -> plan: {for_temp} \
+         (law predicts it costs {:.1}% throughput)",
+        target * 100.0,
+        PowerLawTradeoff {
+            alpha: 1.092,
+            beta: 1.541
+        }
+        .throughput_cost(target)
+            * 100.0,
+    );
+    Ok(())
+}

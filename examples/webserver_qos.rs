@@ -1,0 +1,62 @@
+//! Latency-sensitive serving under injection: QoS versus cooling (the
+//! paper's Figure 6 in miniature).
+//!
+//! Runs the SPECWeb-like workload — 440 connections at 15–25 % per-core
+//! load — under a few injection policies and prints the "good" (3 s) and
+//! "tolerable" (5 s) QoS fractions against the observed temperature
+//! reduction.
+//!
+//! ```text
+//! cargo run --release --example webserver_qos
+//! ```
+
+use dimetrodon_repro::analysis::Table;
+use dimetrodon_repro::harness::experiments::fig6;
+use dimetrodon_repro::harness::RunConfig;
+use dimetrodon_repro::sim::SimDuration;
+
+fn main() {
+    let config = RunConfig {
+        duration: SimDuration::from_secs(150),
+        measure_window: SimDuration::from_secs(30),
+        seed: 6,
+    };
+    println!(
+        "440-connection web workload, {} s per run...\n",
+        config.duration.as_secs_f64()
+    );
+    let data = fig6::run_subset(config, &[0.5, 0.75, 0.9], &[50, 100]);
+
+    println!(
+        "baseline: {} requests served, {:.1}% good, rise over idle {:.1} C\n",
+        data.baseline.total(),
+        data.baseline.good_fraction() * 100.0,
+        data.baseline_rise,
+    );
+
+    let mut table = Table::new(vec![
+        "p",
+        "L (ms)",
+        "temp reduction (%)",
+        "good QoS (%)",
+        "tolerable QoS (%)",
+        "mean latency (s)",
+    ]);
+    for point in &data.points {
+        table.row(vec![
+            format!("{:.2}", point.p),
+            format!("{}", point.l_ms),
+            format!("{:.0}", point.temp_reduction * 100.0),
+            format!("{:.0}", point.good_qos * 100.0),
+            format!("{:.0}", point.tolerable_qos * 100.0),
+            format!("{:.2}", point.stats.mean_latency().unwrap_or(0.0)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Mild policies barely move either axis (deferred requests raise\n\
+         later load, offsetting the injected cooling); past the capacity\n\
+         knee the machine cools dramatically while the \"good\" metric\n\
+         collapses ahead of \"tolerable\" — the shape of Figure 6."
+    );
+}
