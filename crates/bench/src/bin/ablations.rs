@@ -10,6 +10,9 @@
 //! 6. SMT: naive injection vs co-scheduled idle quanta (§3.2);
 //! 7. thermal-aware wake placement (the related-work complement).
 //!
+//! Every section's runs are independent, so each fans across the sweep
+//! engine's worker pool (`--jobs N` to pin the worker count).
+//!
 //! ```text
 //! cargo run --release -p dimetrodon-bench --bin ablations
 //! ```
@@ -21,9 +24,8 @@ use dimetrodon::{
 };
 use dimetrodon_analysis::Table;
 use dimetrodon_bench::{banner, run_config_from_args, write_csv};
-use dimetrodon_harness::{
-    characterize, characterize_on, Actuation, RunConfig, SaturatingWorkload,
-};
+use dimetrodon_harness::sweep::{parallel_map, run_sweep, SweepPoint};
+use dimetrodon_harness::{characterize, Actuation, RunConfig, SaturatingWorkload};
 use dimetrodon_machine::{Machine, MachineConfig, ThermalThrottle};
 use dimetrodon_sched::{
     BsdScheduler, NullHook, SchedConfig, SchedHook, Scheduler, System, ThreadKind, UleScheduler,
@@ -60,20 +62,30 @@ fn push(table: &mut Table, ablation: &str, variant: &str, metric: &str, value: f
     ]);
 }
 
+fn burn_injection(p: f64, l_ms: u64, model: InjectionModel) -> Actuation {
+    Actuation::Injection {
+        params: InjectionParams::new(p, SimDuration::from_millis(l_ms)),
+        model,
+    }
+}
+
 /// 1. Probabilistic vs deterministic injection at the same `(p, L)`.
 fn injection_model(table: &mut Table, config: RunConfig) {
-    for (name, model) in [
+    let variants = [
         ("probabilistic", InjectionModel::Probabilistic),
         ("deterministic", InjectionModel::Deterministic),
-    ] {
-        let out = characterize(
-            SaturatingWorkload::CpuBurn,
-            Actuation::Injection {
-                params: InjectionParams::new(0.5, SimDuration::from_millis(100)),
-                model,
-            },
-            config,
-        );
+    ];
+    let sweep: Vec<SweepPoint> = variants
+        .iter()
+        .map(|&(_, model)| {
+            SweepPoint::new(
+                SaturatingWorkload::CpuBurn,
+                burn_injection(0.5, 100, model),
+                config,
+            )
+        })
+        .collect();
+    for ((name, _), out) in variants.iter().zip(run_sweep(&sweep)) {
         push(table, "injection_model", name, "observed_tail_c", out.tail_temp);
         let physical = out
             .temp_series
@@ -95,32 +107,30 @@ fn injection_model(table: &mut Table, config: RunConfig) {
 
 /// 2. C1E vs nop-loop idle at the same policy.
 fn idle_mode(table: &mut Table, config: RunConfig) {
-    for (name, machine_config) in [
+    let variants = [
         ("c1e", MachineConfig::xeon_e5520()),
         ("nop_loop", MachineConfig::xeon_e5520_nop_idle()),
-    ] {
-        let base = characterize_on(
-            &machine_config,
+    ];
+    // Two points per variant: the unconstrained base, then the injected run.
+    let mut sweep = Vec::new();
+    for (_, machine_config) in &variants {
+        sweep.push(SweepPoint::on(
+            machine_config.clone(),
             SaturatingWorkload::CpuBurn,
             Actuation::None,
             config,
-        );
-        let run = characterize_on(
-            &machine_config,
+        ));
+        sweep.push(SweepPoint::on(
+            machine_config.clone(),
             SaturatingWorkload::CpuBurn,
-            Actuation::Injection {
-                params: InjectionParams::new(0.5, SimDuration::from_millis(25)),
-                model: InjectionModel::Probabilistic,
-            },
+            burn_injection(0.5, 25, InjectionModel::Probabilistic),
             config,
-        );
-        push(
-            table,
-            "idle_mode",
-            name,
-            "temp_reduction",
-            run.temp_reduction_vs(&base),
-        );
+        ));
+    }
+    let outcomes = run_sweep(&sweep);
+    for (v, (name, _)) in variants.iter().enumerate() {
+        let (base, run) = (&outcomes[2 * v], &outcomes[2 * v + 1]);
+        push(table, "idle_mode", name, "temp_reduction", run.temp_reduction_vs(base));
     }
 }
 
@@ -157,9 +167,15 @@ fn scheduler_choice(table: &mut Table, config: RunConfig) {
         ("bsd", || Box::new(BsdScheduler::new())),
         ("ule", || Box::new(UleScheduler::new(4))),
     ];
-    for (name, mk) in schedulers {
-        let (hot, idle, base_thr) = run_with(mk(), false, config.seed);
-        let (cooled, _, thr) = run_with(mk(), true, config.seed + 1);
+    // Four independent runs: (scheduler × {unconstrained, injected}).
+    let results = parallel_map(4, |job| {
+        let (_, mk) = schedulers[job / 2];
+        let inject = job % 2 == 1;
+        run_with(mk(), inject, config.seed + if inject { 1 } else { 0 })
+    });
+    for (s, (name, _)) in schedulers.iter().enumerate() {
+        let (hot, idle, base_thr) = results[2 * s];
+        let (cooled, _, thr) = results[2 * s + 1];
         push(
             table,
             "scheduler",
@@ -185,27 +201,30 @@ fn hotspot_model(table: &mut Table, config: RunConfig) {
     let mut flat = MachineConfig::xeon_e5520();
     flat.thermal.hotspot_power_fraction = 0.0;
 
-    for (name, machine_config) in [
+    let variants = [
         ("with_hotspot", MachineConfig::xeon_e5520()),
         ("no_hotspot", flat),
-    ] {
-        let base = characterize_on(
-            &machine_config,
+    ];
+    let mut sweep = Vec::new();
+    for (_, machine_config) in &variants {
+        sweep.push(SweepPoint::on(
+            machine_config.clone(),
             SaturatingWorkload::CpuBurn,
             Actuation::None,
             config,
-        );
-        let run = characterize_on(
-            &machine_config,
+        ));
+        sweep.push(SweepPoint::on(
+            machine_config.clone(),
             SaturatingWorkload::CpuBurn,
-            Actuation::Injection {
-                params: InjectionParams::new(0.25, SimDuration::from_millis(2)),
-                model: InjectionModel::Probabilistic,
-            },
+            burn_injection(0.25, 2, InjectionModel::Probabilistic),
             config,
-        );
-        let temp = run.temp_reduction_vs(&base);
-        let thr = run.throughput_reduction_vs(&base).max(1e-6);
+        ));
+    }
+    let outcomes = run_sweep(&sweep);
+    for (v, (name, _)) in variants.iter().enumerate() {
+        let (base, run) = (&outcomes[2 * v], &outcomes[2 * v + 1]);
+        let temp = run.temp_reduction_vs(base);
+        let thr = run.throughput_reduction_vs(base).max(1e-6);
         push(table, "hotspot_model", name, "short_quantum_efficiency", temp / thr);
     }
 }
@@ -213,30 +232,34 @@ fn hotspot_model(table: &mut Table, config: RunConfig) {
 /// 5. Cold-resume penalty sweep: the §3.3 deviation from `D(t)` scales
 ///    with the penalty.
 fn resume_penalty(table: &mut Table) {
+    const TRIALS: usize = 12;
     let (p, l, work) = (0.75, SimDuration::from_millis(50), SimDuration::from_secs(7));
     let predicted = predicted_runtime(7.0, 0.1, p, 0.05);
-    for penalty_us in [0u64, 150, 1000] {
-        let mut deviations = Vec::new();
-        for trial in 0..12u64 {
-            let mut machine = Machine::new(MachineConfig::xeon_e5520()).expect("preset");
-            machine.settle_idle();
-            let policy = PolicyHandle::new();
-            policy.set_global(Some(InjectionParams::new(p, l)));
-            let mut system = System::with_parts(
-                machine,
-                Box::new(BsdScheduler::new()),
-                Box::new(DimetrodonHook::new(policy, 500 + trial)),
-                SchedConfig {
-                    resume_penalty: SimDuration::from_micros(penalty_us),
-                    ..SchedConfig::default()
-                },
-            );
-            let id = system.spawn(ThreadKind::User, Box::new(CpuBurn::finite(work)));
-            assert!(system.run_until_exited(&[id], SimTime::from_secs(300)));
-            let wall = system.thread_stats(id).wall_time().expect("exited").as_secs_f64();
-            deviations.push((wall - predicted) / predicted);
-        }
-        let mean = deviations.iter().sum::<f64>() / deviations.len() as f64;
+    let penalties = [0u64, 150, 1000];
+    let deviations = parallel_map(penalties.len() * TRIALS, |job| {
+        let penalty_us = penalties[job / TRIALS];
+        let trial = (job % TRIALS) as u64;
+        let mut machine = Machine::new(MachineConfig::xeon_e5520()).expect("preset");
+        machine.settle_idle();
+        let policy = PolicyHandle::new();
+        policy.set_global(Some(InjectionParams::new(p, l)));
+        let mut system = System::with_parts(
+            machine,
+            Box::new(BsdScheduler::new()),
+            Box::new(DimetrodonHook::new(policy, 500 + trial)),
+            SchedConfig {
+                resume_penalty: SimDuration::from_micros(penalty_us),
+                ..SchedConfig::default()
+            },
+        );
+        let id = system.spawn(ThreadKind::User, Box::new(CpuBurn::finite(work)));
+        assert!(system.run_until_exited(&[id], SimTime::from_secs(300)));
+        let wall = system.thread_stats(id).wall_time().expect("exited").as_secs_f64();
+        (wall - predicted) / predicted
+    });
+    for (i, penalty_us) in penalties.iter().enumerate() {
+        let cell = &deviations[i * TRIALS..(i + 1) * TRIALS];
+        let mean = cell.iter().sum::<f64>() / cell.len() as f64;
         push(
             table,
             "resume_penalty",
@@ -271,12 +294,14 @@ fn smt_co_scheduling(table: &mut Table) {
             .observed_temp_over(SimTime::from_secs(100))
             .expect("samples")
     };
-    let hot = run(false, false, 0);
-    let naive = run(false, true, 1);
-    let co = run(true, true, 2);
-    push(table, "smt", "unconstrained", "observed_tail_c", hot);
-    push(table, "smt", "naive_injection", "observed_tail_c", naive);
-    push(table, "smt", "co_scheduled", "observed_tail_c", co);
+    let variants = [(false, false, 0), (false, true, 1), (true, true, 2)];
+    let temps = parallel_map(variants.len(), |job| {
+        let (co, inject, seed) = variants[job];
+        run(co, inject, seed)
+    });
+    push(table, "smt", "unconstrained", "observed_tail_c", temps[0]);
+    push(table, "smt", "naive_injection", "observed_tail_c", temps[1]);
+    push(table, "smt", "co_scheduled", "observed_tail_c", temps[2]);
 }
 
 /// 8. Deep C-states: with a C6-class state available, long idle quanta
@@ -284,39 +309,48 @@ fn smt_co_scheduling(table: &mut Table) {
 ///    penalties — the §2.2 "if a low power state flushes cache lines"
 ///    what-if.
 fn deep_cstates(table: &mut Table, config: RunConfig) {
-    for (name, machine_config) in [
+    const QUANTA_MS: [u64; 2] = [1, 100];
+    let variants = [
         ("c1e_only", MachineConfig::xeon_e5520()),
         ("with_c6", MachineConfig::xeon_e5520_deep_idle()),
-    ] {
-        let base = characterize_on(
-            &machine_config,
+    ];
+    // Per variant: one base, then one run per quantum.
+    let stride = 1 + QUANTA_MS.len();
+    let mut sweep = Vec::new();
+    for (_, machine_config) in &variants {
+        sweep.push(SweepPoint::on(
+            machine_config.clone(),
             SaturatingWorkload::CpuBurn,
             Actuation::None,
             config,
-        );
-        for l_ms in [1u64, 100] {
-            let run = characterize_on(
-                &machine_config,
+        ));
+        for &l_ms in &QUANTA_MS {
+            sweep.push(SweepPoint::on(
+                machine_config.clone(),
                 SaturatingWorkload::CpuBurn,
-                Actuation::Injection {
-                    params: InjectionParams::new(0.5, SimDuration::from_millis(l_ms)),
-                    model: InjectionModel::Probabilistic,
-                },
+                burn_injection(0.5, l_ms, InjectionModel::Probabilistic),
                 config,
-            );
+            ));
+        }
+    }
+    let outcomes = run_sweep(&sweep);
+    for (v, (name, _)) in variants.iter().enumerate() {
+        let base = &outcomes[v * stride];
+        for (q, &l_ms) in QUANTA_MS.iter().enumerate() {
+            let run = &outcomes[v * stride + 1 + q];
             push(
                 table,
                 "deep_cstates",
                 &format!("{name}_L{l_ms}ms"),
                 "temp_reduction",
-                run.temp_reduction_vs(&base),
+                run.temp_reduction_vs(base),
             );
             push(
                 table,
                 "deep_cstates",
                 &format!("{name}_L{l_ms}ms"),
                 "throughput_reduction",
-                run.throughput_reduction_vs(&base),
+                run.throughput_reduction_vs(base),
             );
         }
     }
@@ -328,7 +362,9 @@ fn deep_cstates(table: &mut Table, config: RunConfig) {
 ///    shorter idle quanta would provide thermally-beneficial
 ///    side-effects".
 fn power_cap(table: &mut Table) {
-    for quantum_ms in [5u64, 25, 100] {
+    const QUANTA_MS: [u64; 3] = [5, 25, 100];
+    let results = parallel_map(QUANTA_MS.len(), |job| {
+        let quantum_ms = QUANTA_MS[job];
         let mut machine = Machine::new(MachineConfig::xeon_e5520()).expect("preset");
         machine.settle_idle();
         let hook = DimetrodonHook::new(PolicyHandle::new(), 600 + quantum_ms);
@@ -349,12 +385,15 @@ fn power_cap(table: &mut Table) {
             system.run_until(SimTime::from_secs(s));
             sum += system.machine().package_power();
         }
+        (sum / 30.0, observed)
+    });
+    for (&quantum_ms, &(mean_power, observed)) in QUANTA_MS.iter().zip(&results) {
         push(
             table,
             "power_cap_45w",
             &format!("L{quantum_ms}ms"),
             "mean_power_w",
-            sum / 30.0,
+            mean_power,
         );
         push(
             table,
@@ -391,9 +430,14 @@ fn preventive_vs_reactive(table: &mut Table, config: RunConfig) {
         (observed, executed / (4.0 * config.duration.as_secs_f64()))
     };
 
+    // Both reactive triggers in parallel; the matched preventive run
+    // depends on the in-range trigger's throughput, so it follows.
+    let triggers = [56.0, 50.0];
+    let reactive_runs = parallel_map(triggers.len(), |job| reactive_run(triggers[job]));
+
     // Near-critical trigger (how real systems deploy reactive DTM): it
     // barely touches the average in normal operation.
-    let near_critical = reactive_run(56.0);
+    let near_critical = reactive_runs[0];
     push(
         table,
         "preventive_vs_reactive",
@@ -404,7 +448,7 @@ fn preventive_vs_reactive(table: &mut Table, config: RunConfig) {
     push(table, "preventive_vs_reactive", "reactive_56c", "throughput", near_critical.1);
 
     // In-range trigger: the trip becomes a closed-loop duty regulator.
-    let reactive = reactive_run(50.0);
+    let reactive = reactive_runs[1];
     push(table, "preventive_vs_reactive", "reactive_50c", "observed_temp_c", reactive.0);
     push(table, "preventive_vs_reactive", "reactive_50c", "throughput", reactive.1);
 
@@ -455,7 +499,8 @@ fn thermal_placement(table: &mut Table) {
             Action::Run(Burst::new(chunk, 1.0))
         }
     }
-    for placement in [false, true] {
+    let hottest_means = parallel_map(2, |job| {
+        let placement = job == 1;
         let machine = Machine::new(MachineConfig::xeon_e5520()).expect("preset");
         let mut system = System::with_parts(
             machine,
@@ -474,18 +519,20 @@ fn thermal_placement(table: &mut Table) {
             }),
         );
         system.run_until(SimTime::from_secs(90));
-        let hottest = (0..4)
+        (0..4)
             .map(|i| {
                 system
                     .core_temp_series(dimetrodon_machine::CoreId(i))
                     .mean_over(SimTime::from_secs(45))
                     .expect("sampled")
             })
-            .fold(f64::MIN, f64::max);
+            .fold(f64::MIN, f64::max)
+    });
+    for (job, &hottest) in hottest_means.iter().enumerate() {
         push(
             table,
             "placement",
-            if placement { "thermal_aware" } else { "queue_order" },
+            if job == 1 { "thermal_aware" } else { "queue_order" },
             "hottest_die_mean_c",
             hottest,
         );

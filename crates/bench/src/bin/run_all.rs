@@ -1,10 +1,12 @@
 //! Regenerates every table and figure in sequence by invoking the
 //! sibling binaries' experiment code directly (no subprocesses), printing
-//! a compact summary at the end.
+//! a compact summary (with per-experiment wall-clock times) at the end.
 //!
 //! ```text
-//! cargo run --release -p dimetrodon-bench --bin run_all -- --quick
+//! cargo run --release -p dimetrodon-bench --bin run_all -- --quick --jobs 8
 //! ```
+
+use std::time::Instant;
 
 use dimetrodon_bench::{banner, quick_requested, run_config_from_args};
 use dimetrodon_harness::experiments::{fig1, fig2, fig3, fig4, fig5, fig6, table1, validation};
@@ -13,25 +15,47 @@ fn main() {
     let config = run_config_from_args(110);
     let quick = quick_requested();
     let mut summary: Vec<String> = Vec::new();
+    let total_start = Instant::now();
 
     banner("run_all", "regenerating every table and figure");
 
-    let f1 = fig1::run(config.seed);
-    summary.push(format!(
-        "fig1: energy ratio {:.3}, dimetrodon computes at {:.1} W vs {:.1} W",
-        f1.dimetrodon_joules / f1.race_to_idle_joules,
-        fig1::Fig1Data::mean_active_power(&f1.dimetrodon, 20.0),
-        fig1::Fig1Data::mean_active_power(&f1.race_to_idle, 20.0),
-    ));
+    // Appends an experiment's summary line tagged with its wall-clock time.
+    let timed = |summary: &mut Vec<String>, name: &str, line: String, start: Instant| {
+        summary.push(format!(
+            "{line}   [{name}: {:.1}s]",
+            start.elapsed().as_secs_f64()
+        ));
+    };
 
+    let start = Instant::now();
+    let f1 = fig1::run(config.seed);
+    timed(
+        &mut summary,
+        "fig1",
+        format!(
+            "fig1: energy ratio {:.3}, dimetrodon computes at {:.1} W vs {:.1} W",
+            f1.dimetrodon_joules / f1.race_to_idle_joules,
+            fig1::Fig1Data::mean_active_power(&f1.dimetrodon, 20.0),
+            fig1::Fig1Data::mean_active_power(&f1.race_to_idle, 20.0),
+        ),
+        start,
+    );
+
+    let start = Instant::now();
     let f2 = fig2::run(config);
     let rises: Vec<String> = f2
         .curves
         .iter()
         .map(|c| format!("p={:.2}:{:.1}C", c.p, c.tail_rise))
         .collect();
-    summary.push(format!("fig2: tail rises {}", rises.join(" ")));
+    timed(
+        &mut summary,
+        "fig2",
+        format!("fig2: tail rises {}", rises.join(" ")),
+        start,
+    );
 
+    let start = Instant::now();
     let f3 = if quick {
         fig3::run_subset(config, &[0.25, 0.5], &[1, 25, 100])
     } else {
@@ -43,18 +67,30 @@ fn main() {
         .filter(|p| p.temp_reduction > 0.01)
         .map(|p| p.efficiency())
         .fold(f64::NEG_INFINITY, f64::max);
-    summary.push(format!("fig3: best efficiency {best:.1}:1"));
+    timed(
+        &mut summary,
+        "fig3",
+        format!("fig3: best efficiency {best:.1}:1"),
+        start,
+    );
 
+    let start = Instant::now();
     let f4 = if quick {
         fig4::run_subset(config, &[0.25, 0.75], &[5, 100], true)
     } else {
         fig4::run(config)
     };
-    summary.push(match fig4::crossover_temp_reduction(&f4) {
-        Some(r) => format!("fig4: dimetrodon/VFS crossover ~{:.0}%", r * 100.0),
-        None => "fig4: no crossover in sweep".to_string(),
-    });
+    timed(
+        &mut summary,
+        "fig4",
+        match fig4::crossover_temp_reduction(&f4) {
+            Some(r) => format!("fig4: dimetrodon/VFS crossover ~{:.0}%", r * 100.0),
+            None => "fig4: no crossover in sweep".to_string(),
+        },
+        start,
+    );
 
+    let start = Instant::now();
     let f5 = if quick {
         fig5::run_subset(config, &[0.75])
     } else {
@@ -65,40 +101,71 @@ fn main() {
         .iter()
         .map(|p| p.cool_throughput)
         .fold(f64::INFINITY, f64::min);
-    summary.push(format!(
-        "fig5: per-thread cool throughput >= {:.0}%",
-        per_thread_min * 100.0
-    ));
+    timed(
+        &mut summary,
+        "fig5",
+        format!(
+            "fig5: per-thread cool throughput >= {:.0}%",
+            per_thread_min * 100.0
+        ),
+        start,
+    );
 
+    let start = Instant::now();
     let f6 = if quick {
         fig6::run_subset(config, &[0.5, 0.9], &[100])
     } else {
         fig6::run(config)
     };
-    summary.push(format!(
-        "fig6: baseline rise {:.1} C over {} requests",
-        f6.baseline_rise,
-        f6.baseline.total()
-    ));
+    timed(
+        &mut summary,
+        "fig6",
+        format!(
+            "fig6: baseline rise {:.1} C over {} requests",
+            f6.baseline_rise,
+            f6.baseline.total()
+        ),
+        start,
+    );
 
+    let start = Instant::now();
     let t1 = table1::run(config);
     let convex = t1.iter().filter(|r| r.fit.beta > 1.0).count();
-    summary.push(format!("table1: {}/{} workloads convex", convex, t1.len()));
+    timed(
+        &mut summary,
+        "table1",
+        format!("table1: {}/{} workloads convex", convex, t1.len()),
+        start,
+    );
 
+    let start = Instant::now();
     let trials = if quick { 3 } else { 20 };
     let tv = validation::throughput(trials, config.seed);
-    summary.push(format!(
-        "validation (throughput): mean deviation {:+.2}%",
-        tv.overall.mean * 100.0
-    ));
+    timed(
+        &mut summary,
+        "validation-throughput",
+        format!(
+            "validation (throughput): mean deviation {:+.2}%",
+            tv.overall.mean * 100.0
+        ),
+        start,
+    );
+
+    let start = Instant::now();
     let ev = validation::energy(if quick { 2 } else { 5 }, config.seed);
-    summary.push(format!(
-        "validation (energy): mean deviation {:+.2}%",
-        ev.overall_deviation.mean * 100.0
-    ));
+    timed(
+        &mut summary,
+        "validation-energy",
+        format!(
+            "validation (energy): mean deviation {:+.2}%",
+            ev.overall_deviation.mean * 100.0
+        ),
+        start,
+    );
 
     banner("summary", "one line per experiment");
     for line in summary {
         println!("  {line}");
     }
+    println!("  total wall-clock: {:.1}s", total_start.elapsed().as_secs_f64());
 }

@@ -14,11 +14,14 @@ use dimetrodon_analysis::Table;
 use dimetrodon_harness::RunConfig;
 
 /// Parses the common CLI convention: `--quick` selects the shortened run
-/// configuration, `--seed N` overrides the seed.
+/// configuration, `--seed N` overrides the seed, and `--jobs N` sets the
+/// sweep worker count (default: one per available core; results are
+/// identical at every worker count).
 ///
 /// # Panics
 ///
-/// Panics if `--seed` is present without a valid integer after it.
+/// Panics if `--seed` or `--jobs` is present without a valid integer
+/// after it.
 pub fn run_config_from_args(default_seed: u64) -> RunConfig {
     let args: Vec<String> = std::env::args().collect();
     let mut seed = default_seed;
@@ -28,10 +31,27 @@ pub fn run_config_from_args(default_seed: u64) -> RunConfig {
             .and_then(|s| s.parse().ok())
             .expect("--seed requires an integer");
     }
+    apply_jobs_from_args(&args);
     if args.iter().any(|a| a == "--quick") {
         RunConfig::quick(seed)
     } else {
         RunConfig::paper(seed)
+    }
+}
+
+/// Applies a `--jobs N` argument (if present) to the sweep engine.
+///
+/// # Panics
+///
+/// Panics if `--jobs` is present without a positive integer after it.
+pub fn apply_jobs_from_args(args: &[String]) {
+    if let Some(pos) = args.iter().position(|a| a == "--jobs") {
+        let jobs: usize = args
+            .get(pos + 1)
+            .and_then(|s| s.parse().ok())
+            .expect("--jobs requires a positive integer");
+        assert!(jobs > 0, "--jobs requires a positive integer");
+        dimetrodon_harness::sweep::set_jobs(jobs);
     }
 }
 

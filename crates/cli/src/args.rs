@@ -80,6 +80,9 @@ pub struct Options {
     pub profile_path: Option<String>,
     /// Simulation seed.
     pub seed: u64,
+    /// Worker threads for sweep-shaped runs; `None` means one per
+    /// available core. Results are identical at every worker count.
+    pub jobs: Option<usize>,
 }
 
 impl Default for Options {
@@ -97,6 +100,7 @@ impl Default for Options {
             trace: None,
             profile_path: None,
             seed: 42,
+            jobs: None,
         }
     }
 }
@@ -163,6 +167,7 @@ OPTIONS:
     --placement        thermal-aware wake placement
     --trace <n>        print the last n scheduling decisions
     --seed <n>         simulation seed                    [default: 42]
+    --jobs <n>         worker threads for sweep runs      [default: all cores]
     --help             print this text
 ";
 
@@ -293,6 +298,22 @@ impl Options {
                         expected: "an unsigned integer",
                     })?;
                 }
+                "--jobs" => {
+                    let raw = value_for("--jobs")?;
+                    let n: usize = raw.parse().map_err(|_| ParseArgsError::BadValue {
+                        flag: "--jobs",
+                        value: raw.clone(),
+                        expected: "a positive worker count",
+                    })?;
+                    if n == 0 {
+                        return Err(ParseArgsError::BadValue {
+                            flag: "--jobs",
+                            value: raw,
+                            expected: "a positive worker count",
+                        });
+                    }
+                    options.jobs = Some(n);
+                }
                 "--help" | "-h" => return Err(ParseArgsError::HelpRequested),
                 other => return Err(ParseArgsError::UnknownFlag(other.to_string())),
             }
@@ -394,6 +415,17 @@ mod tests {
     fn setpoint_parses() {
         let o = Options::parse(["--setpoint", "45.5"]).unwrap();
         assert_eq!(o.setpoint, Some(45.5));
+    }
+
+    #[test]
+    fn jobs_parses_and_rejects_zero() {
+        let o = Options::parse(["--jobs", "8"]).unwrap();
+        assert_eq!(o.jobs, Some(8));
+        assert!(matches!(
+            Options::parse(["--jobs", "0"]),
+            Err(ParseArgsError::BadValue { flag: "--jobs", .. })
+        ));
+        assert!(USAGE.contains("--jobs"));
     }
 
     #[test]

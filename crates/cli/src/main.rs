@@ -26,6 +26,10 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(jobs) = options.jobs {
+        dimetrodon_harness::sweep::set_jobs(jobs);
+    }
+
     println!(
         "running {:?} for {} (seed {})...",
         options.workload, options.duration, options.seed

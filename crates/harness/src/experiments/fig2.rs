@@ -7,7 +7,8 @@
 use dimetrodon::{InjectionModel, InjectionParams};
 use dimetrodon_sim_core::SimDuration;
 
-use crate::runner::{characterize, Actuation, RunConfig, SaturatingWorkload};
+use crate::runner::{Actuation, RunConfig, SaturatingWorkload};
+use crate::sweep::{run_sweep, SweepPoint};
 
 /// The injection proportions the paper plots.
 pub const PROPORTIONS: [f64; 4] = [0.0, 0.25, 0.5, 0.75];
@@ -35,27 +36,34 @@ pub struct Fig2Data {
 
 /// Runs the Figure 2 experiment with the paper's L = 100 ms.
 pub fn run(config: RunConfig) -> Fig2Data {
-    let mut curves = Vec::new();
-    let mut idle_temp = 0.0;
-    for (i, &p) in PROPORTIONS.iter().enumerate() {
-        let actuation = if p == 0.0 {
-            Actuation::None
-        } else {
-            Actuation::Injection {
-                params: InjectionParams::new(p, SimDuration::from_millis(100)),
-                model: InjectionModel::Probabilistic,
-            }
-        };
-        let outcome = characterize(
-            SaturatingWorkload::CpuBurn,
-            actuation,
-            RunConfig {
-                seed: config.seed.wrapping_add(i as u64),
-                ..config
-            },
-        );
-        idle_temp = outcome.idle_temp;
-        curves.push(Fig2Curve {
+    let points: Vec<SweepPoint> = PROPORTIONS
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let actuation = if p == 0.0 {
+                Actuation::None
+            } else {
+                Actuation::Injection {
+                    params: InjectionParams::new(p, SimDuration::from_millis(100)),
+                    model: InjectionModel::Probabilistic,
+                }
+            };
+            SweepPoint::new(
+                SaturatingWorkload::CpuBurn,
+                actuation,
+                RunConfig {
+                    seed: config.seed.wrapping_add(i as u64),
+                    ..config
+                },
+            )
+        })
+        .collect();
+    let outcomes = run_sweep(&points);
+    let idle_temp = outcomes.last().map_or(0.0, |o| o.idle_temp);
+    let curves = PROPORTIONS
+        .iter()
+        .zip(&outcomes)
+        .map(|(&p, outcome)| Fig2Curve {
             p,
             rise: outcome
                 .observed_curve
@@ -63,8 +71,8 @@ pub fn run(config: RunConfig) -> Fig2Data {
                 .map(|&(t, v)| (t, v - outcome.idle_temp))
                 .collect(),
             tail_rise: outcome.rise_over_idle(),
-        });
-    }
+        })
+        .collect();
     Fig2Data { curves, idle_temp }
 }
 

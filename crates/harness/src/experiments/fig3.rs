@@ -10,7 +10,8 @@
 use dimetrodon::{InjectionModel, InjectionParams};
 use dimetrodon_sim_core::SimDuration;
 
-use crate::runner::{characterize, Actuation, RunConfig, SaturatingWorkload};
+use crate::runner::{Actuation, RunConfig, SaturatingWorkload};
+use crate::sweep::{run_sweep, SweepPoint};
 
 /// The probabilities plotted in Figure 3.
 pub const PROPORTIONS: [f64; 4] = [0.1, 0.25, 0.5, 0.75];
@@ -69,11 +70,17 @@ pub fn run(config: RunConfig) -> Fig3Data {
 
 /// Runs a subset of the sweep (for tests and quick looks).
 pub fn run_subset(config: RunConfig, proportions: &[f64], quanta_ms: &[u64]) -> Fig3Data {
-    let base = characterize(SaturatingWorkload::CpuBurn, Actuation::None, config);
-    let mut points = Vec::new();
+    // Point 0 is the shared unconstrained baseline; the grid follows.
+    let mut sweep = vec![SweepPoint::new(
+        SaturatingWorkload::CpuBurn,
+        Actuation::None,
+        config,
+    )];
+    let mut grid = Vec::new();
     for (i, &p) in proportions.iter().enumerate() {
         for (j, &l_ms) in quanta_ms.iter().enumerate() {
-            let outcome = characterize(
+            grid.push((p, l_ms));
+            sweep.push(SweepPoint::new(
                 SaturatingWorkload::CpuBurn,
                 Actuation::Injection {
                     params: InjectionParams::new(p, SimDuration::from_millis(l_ms)),
@@ -83,21 +90,98 @@ pub fn run_subset(config: RunConfig, proportions: &[f64], quanta_ms: &[u64]) -> 
                     seed: config.seed.wrapping_add((i * 97 + j * 13 + 1) as u64),
                     ..config
                 },
-            );
-            points.push(EfficiencyPoint {
-                p,
-                l_ms,
-                temp_reduction: outcome.temp_reduction_vs(&base),
-                throughput_reduction: outcome.throughput_reduction_vs(&base),
-            });
+            ));
         }
     }
+    let mut outcomes = run_sweep(&sweep);
+    let base = outcomes.remove(0);
+    let points = grid
+        .into_iter()
+        .zip(&outcomes)
+        .map(|((p, l_ms), outcome)| EfficiencyPoint {
+            p,
+            l_ms,
+            temp_reduction: outcome.temp_reduction_vs(&base),
+            throughput_reduction: outcome.throughput_reduction_vs(&base),
+        })
+        .collect();
     Fig3Data { points }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::characterize;
+    use crate::sweep;
+
+    /// The pre-engine implementation, kept verbatim as the golden
+    /// sequential reference for the determinism regression test.
+    fn run_subset_sequential(
+        config: RunConfig,
+        proportions: &[f64],
+        quanta_ms: &[u64],
+    ) -> Fig3Data {
+        let base = characterize(SaturatingWorkload::CpuBurn, Actuation::None, config);
+        let mut points = Vec::new();
+        for (i, &p) in proportions.iter().enumerate() {
+            for (j, &l_ms) in quanta_ms.iter().enumerate() {
+                let outcome = characterize(
+                    SaturatingWorkload::CpuBurn,
+                    Actuation::Injection {
+                        params: InjectionParams::new(p, SimDuration::from_millis(l_ms)),
+                        model: InjectionModel::Probabilistic,
+                    },
+                    RunConfig {
+                        seed: config.seed.wrapping_add((i * 97 + j * 13 + 1) as u64),
+                        ..config
+                    },
+                );
+                points.push(EfficiencyPoint {
+                    p,
+                    l_ms,
+                    temp_reduction: outcome.temp_reduction_vs(&base),
+                    throughput_reduction: outcome.throughput_reduction_vs(&base),
+                });
+            }
+        }
+        Fig3Data { points }
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        // Parallelism must never change science output: the engine at any
+        // worker count reproduces the old sequential loop bit for bit.
+        let config = RunConfig {
+            duration: SimDuration::from_secs(50),
+            measure_window: SimDuration::from_secs(10),
+            seed: 33,
+        };
+        let golden = run_subset_sequential(config, &[0.25, 0.75], &[5, 100]);
+        for jobs in [1, 4] {
+            sweep::set_jobs(jobs);
+            let data = run_subset(config, &[0.25, 0.75], &[5, 100]);
+            sweep::set_jobs(0);
+            assert_eq!(data.points.len(), golden.points.len(), "jobs={jobs}");
+            for (got, want) in data.points.iter().zip(&golden.points) {
+                assert_eq!(got.p.to_bits(), want.p.to_bits(), "jobs={jobs}");
+                assert_eq!(got.l_ms, want.l_ms, "jobs={jobs}");
+                assert_eq!(
+                    got.temp_reduction.to_bits(),
+                    want.temp_reduction.to_bits(),
+                    "jobs={jobs}: temp {} vs {}",
+                    got.temp_reduction,
+                    want.temp_reduction
+                );
+                assert_eq!(
+                    got.throughput_reduction.to_bits(),
+                    want.throughput_reduction.to_bits(),
+                    "jobs={jobs}: throughput {} vs {}",
+                    got.throughput_reduction,
+                    want.throughput_reduction
+                );
+            }
+        }
+    }
 
     #[test]
     fn short_quanta_are_more_efficient() {

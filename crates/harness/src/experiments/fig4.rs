@@ -12,7 +12,8 @@ use dimetrodon_analysis::{pareto_frontier, TradeoffPoint};
 use dimetrodon_power::PStateId;
 use dimetrodon_sim_core::SimDuration;
 
-use crate::runner::{characterize, Actuation, RunConfig, RunOutcome, SaturatingWorkload};
+use crate::runner::{Actuation, RunConfig, RunOutcome, SaturatingWorkload};
+use crate::sweep::{run_sweep, SweepPoint as EnginePoint};
 
 /// Dimetrodon's sweep grid: probabilities.
 pub const SWEEP_P: [f64; 6] = [0.1, 0.25, 0.5, 0.75, 0.9, 0.95];
@@ -75,12 +76,18 @@ pub fn run_subset(
     sweep_l_ms: &[u64],
     include_baselines: bool,
 ) -> Fig4Data {
-    let base = characterize(SaturatingWorkload::CpuBurn, Actuation::None, config);
-
-    let mut dimetrodon = Vec::new();
+    // One flat job list: baseline, the Dimetrodon grid, then (optionally)
+    // the VFS and TCC ladders, all fanned across the pool together.
+    let mut sweep = vec![EnginePoint::new(
+        SaturatingWorkload::CpuBurn,
+        Actuation::None,
+        config,
+    )];
+    let mut tags = Vec::new();
     for (i, &p) in sweep_p.iter().enumerate() {
         for (j, &l) in sweep_l_ms.iter().enumerate() {
-            let outcome = characterize(
+            tags.push(format!("p={p},L={l}ms"));
+            sweep.push(EnginePoint::new(
                 SaturatingWorkload::CpuBurn,
                 Actuation::Injection {
                     params: InjectionParams::new(p, SimDuration::from_millis(l)),
@@ -90,38 +97,49 @@ pub fn run_subset(
                     seed: config.seed.wrapping_add((i * 61 + j * 7 + 3) as u64),
                     ..config
                 },
-            );
-            dimetrodon.push(point(&outcome, &base, format!("p={p},L={l}ms")));
+            ));
         }
     }
-
-    let mut vfs = Vec::new();
-    let mut tcc = Vec::new();
+    let grid_len = tags.len();
+    let mut vfs_tags = Vec::new();
+    let mut tcc_tags = Vec::new();
     if include_baselines {
         for idx in 1..=5usize {
-            let outcome = characterize(
+            vfs_tags.push(format!("P{idx}"));
+            sweep.push(EnginePoint::new(
                 SaturatingWorkload::CpuBurn,
                 Actuation::Vfs {
                     pstate: PStateId(idx),
                 },
                 config,
-            );
-            vfs.push(point(&outcome, &base, format!("P{idx}")));
+            ));
         }
         for &duty in &SWEEP_TCC {
-            let outcome = characterize(
+            tcc_tags.push(format!("duty={duty}"));
+            sweep.push(EnginePoint::new(
                 SaturatingWorkload::CpuBurn,
                 Actuation::Tcc { duty },
                 config,
-            );
-            tcc.push(point(&outcome, &base, format!("duty={duty}")));
+            ));
         }
     }
 
+    let outcomes = run_sweep(&sweep);
+    let base = &outcomes[0];
+    let grid = &outcomes[1..1 + grid_len];
+    let vfs_runs = &outcomes[1 + grid_len..1 + grid_len + vfs_tags.len()];
+    let tcc_runs = &outcomes[1 + grid_len + vfs_tags.len()..];
+
+    let label = |runs: &[RunOutcome], run_tags: Vec<String>| -> Vec<SweepPoint> {
+        runs.iter()
+            .zip(run_tags)
+            .map(|(outcome, tag)| point(outcome, base, tag))
+            .collect()
+    };
     Fig4Data {
-        dimetrodon,
-        vfs,
-        tcc,
+        dimetrodon: label(grid, tags),
+        vfs: label(vfs_runs, vfs_tags),
+        tcc: label(tcc_runs, tcc_tags),
     }
 }
 

@@ -14,6 +14,7 @@ use dimetrodon_sim_core::{SimDuration, SimTime};
 use dimetrodon_workload::{PeriodicBurn, SpecBenchmark};
 
 use crate::runner::RunConfig;
+use crate::sweep::parallel_map;
 
 /// Whether the injection policy applies system-wide or only to the hot
 /// threads.
@@ -128,23 +129,41 @@ pub fn run(config: RunConfig) -> Fig5Data {
 
 /// Runs a subset of probabilities (for tests).
 pub fn run_subset(config: RunConfig, sweep_p: &[f64]) -> Fig5Data {
-    let base = run_mix(None, PolicyScope::Global, config);
-    let base_rise = base.tail_temp - base.idle_temp;
-    let base_cycle = base
-        .cool_cycle_wall
-        .expect("baseline cool process completed cycles");
-
-    let mut points = Vec::new();
-    for (i, &p) in sweep_p.iter().enumerate() {
-        for scope in [PolicyScope::Global, PolicyScope::PerThread] {
-            let outcome = run_mix(
+    // Job 0 is the unconstrained mix; then (p, scope) pairs in grid order.
+    let grid: Vec<(usize, f64, PolicyScope)> = sweep_p
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &p)| {
+            [PolicyScope::Global, PolicyScope::PerThread]
+                .into_iter()
+                .map(move |scope| (i, p, scope))
+        })
+        .collect();
+    let outcomes = parallel_map(grid.len() + 1, |job| {
+        if job == 0 {
+            run_mix(None, PolicyScope::Global, config)
+        } else {
+            let (i, p, scope) = grid[job - 1];
+            run_mix(
                 Some(p),
                 scope,
                 RunConfig {
                     seed: config.seed.wrapping_add(i as u64 * 11 + 5),
                     ..config
                 },
-            );
+            )
+        }
+    });
+    let base = &outcomes[0];
+    let base_rise = base.tail_temp - base.idle_temp;
+    let base_cycle = base
+        .cool_cycle_wall
+        .expect("baseline cool process completed cycles");
+
+    let points = grid
+        .iter()
+        .zip(&outcomes[1..])
+        .map(|(&(_, p, scope), outcome)| {
             let temp_reduction = (base.tail_temp - outcome.tail_temp) / base_rise;
             let cool_throughput = match outcome.cool_cycle_wall {
                 // Relative throughput: how much the work phase stretched
@@ -154,14 +173,14 @@ pub fn run_subset(config: RunConfig, sweep_p: &[f64]) -> Fig5Data {
                 // effectively zero.
                 None => 0.0,
             };
-            points.push(Fig5Point {
+            Fig5Point {
                 p,
                 scope,
                 temp_reduction,
                 cool_throughput,
-            });
-        }
-    }
+            }
+        })
+        .collect();
     Fig5Data { points }
 }
 

@@ -15,6 +15,7 @@ use dimetrodon_sim_core::{SimDuration, SimRng, SimTime};
 use dimetrodon_workload::{spawn_web_workload, QosStats, WebConfig};
 
 use crate::runner::RunConfig;
+use crate::sweep::parallel_map;
 
 /// The probabilities swept.
 pub const SWEEP_P: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 0.9];
@@ -87,31 +88,48 @@ pub fn run(config: RunConfig) -> Fig6Data {
 
 /// Runs a reduced sweep (for tests).
 pub fn run_subset(config: RunConfig, sweep_p: &[f64], sweep_l_ms: &[u64]) -> Fig6Data {
-    let base = run_web(None, config);
-    let base_rise = base.tail_temp - base.idle_temp;
-    let base_good = base.stats.good_fraction().max(1e-9);
-    let base_tolerable = base.stats.tolerable_fraction().max(1e-9);
-
-    let mut points = Vec::new();
-    for (i, &p) in sweep_p.iter().enumerate() {
-        for (j, &l_ms) in sweep_l_ms.iter().enumerate() {
-            let outcome = run_web(
+    // Job 0 is the unconstrained baseline; then the (p, L) grid.
+    let grid: Vec<(usize, usize, f64, u64)> = sweep_p
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &p)| {
+            sweep_l_ms
+                .iter()
+                .enumerate()
+                .map(move |(j, &l_ms)| (i, j, p, l_ms))
+        })
+        .collect();
+    let mut outcomes = parallel_map(grid.len() + 1, |job| {
+        if job == 0 {
+            run_web(None, config)
+        } else {
+            let (i, j, p, l_ms) = grid[job - 1];
+            run_web(
                 Some(InjectionParams::new(p, SimDuration::from_millis(l_ms))),
                 RunConfig {
                     seed: config.seed.wrapping_add((i * 31 + j * 7 + 9) as u64),
                     ..config
                 },
-            );
-            points.push(Fig6Point {
-                p,
-                l_ms,
-                temp_reduction: (base.tail_temp - outcome.tail_temp) / base_rise,
-                good_qos: outcome.stats.good_fraction() / base_good,
-                tolerable_qos: outcome.stats.tolerable_fraction() / base_tolerable,
-                stats: outcome.stats,
-            });
+            )
         }
-    }
+    });
+    let base = outcomes.remove(0);
+    let base_rise = base.tail_temp - base.idle_temp;
+    let base_good = base.stats.good_fraction().max(1e-9);
+    let base_tolerable = base.stats.tolerable_fraction().max(1e-9);
+
+    let points = grid
+        .iter()
+        .zip(outcomes)
+        .map(|(&(_, _, p, l_ms), outcome)| Fig6Point {
+            p,
+            l_ms,
+            temp_reduction: (base.tail_temp - outcome.tail_temp) / base_rise,
+            good_qos: outcome.stats.good_fraction() / base_good,
+            tolerable_qos: outcome.stats.tolerable_fraction() / base_tolerable,
+            stats: outcome.stats,
+        })
+        .collect();
     Fig6Data {
         baseline: base.stats,
         baseline_rise: base_rise,

@@ -12,7 +12,8 @@ use dimetrodon::{InjectionModel, InjectionParams};
 use dimetrodon_machine::MachineConfig;
 use dimetrodon_sim_core::SimDuration;
 
-use crate::runner::{characterize_on, Actuation, RunConfig, SaturatingWorkload};
+use crate::runner::{Actuation, RunConfig, SaturatingWorkload};
+use crate::sweep::{run_sweep, SweepPoint};
 
 /// One hotspot-time-constant configuration's efficiency curve.
 #[derive(Debug, Clone)]
@@ -48,42 +49,52 @@ pub fn run(config: RunConfig) -> Vec<SensitivityRow> {
 
 /// Runs a subset of the sweep.
 pub fn run_subset(config: RunConfig, taus_ms: &[f64], quanta_ms: &[u64]) -> Vec<SensitivityRow> {
+    // Per tau: one unconstrained base followed by the quantum curve, all
+    // flattened into a single job list.
+    let stride = 1 + quanta_ms.len();
+    let mut jobs = Vec::with_capacity(taus_ms.len() * stride);
+    for &tau_ms in taus_ms {
+        // Scale the hotspot capacitance to hit the requested time
+        // constant at the preset conductance, keeping the steady
+        // excess unchanged.
+        let mut machine_config = MachineConfig::xeon_e5520();
+        machine_config.thermal.hotspot_capacitance =
+            machine_config.thermal.hotspot_to_die * tau_ms / 1e3;
+
+        jobs.push(SweepPoint::on(
+            machine_config.clone(),
+            SaturatingWorkload::CpuBurn,
+            Actuation::None,
+            config,
+        ));
+        for &l_ms in quanta_ms {
+            jobs.push(SweepPoint::on(
+                machine_config.clone(),
+                SaturatingWorkload::CpuBurn,
+                Actuation::Injection {
+                    params: InjectionParams::new(0.25, SimDuration::from_millis(l_ms)),
+                    model: InjectionModel::Probabilistic,
+                },
+                RunConfig {
+                    seed: config.seed.wrapping_add(l_ms),
+                    ..config
+                },
+            ));
+        }
+    }
+    let outcomes = run_sweep(&jobs);
+
     taus_ms
         .iter()
-        .map(|&tau_ms| {
-            // Scale the hotspot capacitance to hit the requested time
-            // constant at the preset conductance, keeping the steady
-            // excess unchanged.
-            let mut machine_config = MachineConfig::xeon_e5520();
-            machine_config.thermal.hotspot_capacitance =
-                machine_config.thermal.hotspot_to_die * tau_ms / 1e3;
-
-            let base = characterize_on(
-                &machine_config,
-                SaturatingWorkload::CpuBurn,
-                Actuation::None,
-                config,
-            );
+        .enumerate()
+        .map(|(t, &tau_ms)| {
+            let base = &outcomes[t * stride];
             let curve = quanta_ms
                 .iter()
-                .map(|&l_ms| {
-                    let run = characterize_on(
-                        &machine_config,
-                        SaturatingWorkload::CpuBurn,
-                        Actuation::Injection {
-                            params: InjectionParams::new(
-                                0.25,
-                                SimDuration::from_millis(l_ms),
-                            ),
-                            model: InjectionModel::Probabilistic,
-                        },
-                        RunConfig {
-                            seed: config.seed.wrapping_add(l_ms),
-                            ..config
-                        },
-                    );
-                    let thr = run.throughput_reduction_vs(&base).max(1e-6);
-                    (l_ms, run.temp_reduction_vs(&base) / thr)
+                .zip(&outcomes[t * stride + 1..(t + 1) * stride])
+                .map(|(&l_ms, run)| {
+                    let thr = run.throughput_reduction_vs(base).max(1e-6);
+                    (l_ms, run.temp_reduction_vs(base) / thr)
                 })
                 .collect();
             SensitivityRow { tau_ms, curve }

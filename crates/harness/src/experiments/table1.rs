@@ -12,7 +12,8 @@ use dimetrodon_analysis::{fit_power_law, pareto_frontier, PowerLawFit, TradeoffP
 use dimetrodon_sim_core::SimDuration;
 use dimetrodon_workload::SpecBenchmark;
 
-use crate::runner::{characterize, Actuation, RunConfig, SaturatingWorkload};
+use crate::runner::{Actuation, RunConfig, SaturatingWorkload};
+use crate::sweep::{run_sweep, SweepPoint as EnginePoint};
 
 /// The `(p, L)` grid each workload is swept over.
 pub const SWEEP_P: [f64; 4] = [0.1, 0.25, 0.5, 0.75];
@@ -76,21 +77,27 @@ pub fn run_workloads(
     sweep_p: &[f64],
     sweep_l_ms: &[u64],
 ) -> Vec<Table1Row> {
-    // cpuburn's unconstrained rise normalises the "Rise (%)" column.
-    let burn_base = characterize(SaturatingWorkload::CpuBurn, Actuation::None, config);
-    let burn_rise = burn_base.rise_over_idle();
-
-    let mut rows = Vec::new();
-    for (wi, (workload, name, paper_rise_pct, paper_ab)) in workloads.iter().enumerate() {
-        let base = if *workload == SaturatingWorkload::CpuBurn {
-            burn_base.clone()
+    // One flat job list for the whole table: index 0 is cpuburn's
+    // unconstrained run (normalises the "Rise (%)" column), then per
+    // workload an unconstrained base (cpuburn reuses index 0) followed by
+    // its `(p, L)` grid.
+    let mut jobs = vec![EnginePoint::new(
+        SaturatingWorkload::CpuBurn,
+        Actuation::None,
+        config,
+    )];
+    let mut slots = Vec::new();
+    for (wi, (workload, _, _, _)) in workloads.iter().enumerate() {
+        let base_index = if *workload == SaturatingWorkload::CpuBurn {
+            0
         } else {
-            characterize(*workload, Actuation::None, config)
+            jobs.push(EnginePoint::new(*workload, Actuation::None, config));
+            jobs.len() - 1
         };
-        let mut sweep = Vec::new();
+        let grid_start = jobs.len();
         for (i, &p) in sweep_p.iter().enumerate() {
             for (j, &l) in sweep_l_ms.iter().enumerate() {
-                let outcome = characterize(
+                jobs.push(EnginePoint::new(
                     *workload,
                     Actuation::Injection {
                         params: InjectionParams::new(p, SimDuration::from_millis(l)),
@@ -102,13 +109,29 @@ pub fn run_workloads(
                             .wrapping_add((wi * 1009 + i * 53 + j * 17 + 7) as u64),
                         ..config
                     },
-                );
-                sweep.push((
-                    outcome.temp_reduction_vs(&base),
-                    outcome.throughput_reduction_vs(&base),
                 ));
             }
         }
+        slots.push((base_index, grid_start));
+    }
+    let outcomes = run_sweep(&jobs);
+    let burn_rise = outcomes[0].rise_over_idle();
+    let grid_len = sweep_p.len() * sweep_l_ms.len();
+
+    let mut rows = Vec::new();
+    for ((workload, name, paper_rise_pct, paper_ab), &(base_index, grid_start)) in
+        workloads.iter().zip(&slots)
+    {
+        let base = &outcomes[base_index];
+        let sweep: Vec<(f64, f64)> = outcomes[grid_start..grid_start + grid_len]
+            .iter()
+            .map(|outcome| {
+                (
+                    outcome.temp_reduction_vs(base),
+                    outcome.throughput_reduction_vs(base),
+                )
+            })
+            .collect();
         // Fit over the pareto boundary for r in [0, 0.5] (the paper's
         // Table 1 fit range; cpuburn's §3.4 fit extends to 0.75).
         let r_max = if *workload == SaturatingWorkload::CpuBurn {

@@ -21,6 +21,7 @@ use dimetrodon_sim_core::{SimDuration, SimRng, SimTime};
 use dimetrodon_workload::CpuBurn;
 
 use crate::runner::{build_system, Actuation};
+use crate::sweep::parallel_map;
 
 /// The paper's throughput-validation grid: probabilities.
 pub const THROUGHPUT_P: [f64; 3] = [0.25, 0.5, 0.75];
@@ -97,33 +98,46 @@ pub fn throughput_grid(
     grid_l_ms: &[u64],
 ) -> ThroughputValidation {
     assert!(trials > 0, "need at least one trial");
+    // Trial seeds are drawn from one sequential fork chain (exactly as
+    // the sequential implementation did), so trials stay bit-identical;
+    // the trials themselves then fan across the pool.
     let mut rng = SimRng::new(seed);
-    let mut rows = Vec::new();
-    let mut all = Vec::new();
+    let mut cells = Vec::new();
     for &p in grid_p {
         for &l_ms in grid_l_ms {
-            let predicted = predicted_runtime(
-                WORK.as_secs_f64(),
-                QUANTUM.as_secs_f64(),
-                p,
-                SimDuration::from_millis(l_ms).as_secs_f64(),
-            );
-            let mut deviations = Vec::with_capacity(trials);
-            let mut measured_sum = 0.0;
-            for _ in 0..trials {
-                let wall = one_trial(p, l_ms, rng.fork(0).uniform().to_bits());
-                measured_sum += wall;
-                deviations.push((wall - predicted) / predicted);
-            }
-            all.extend_from_slice(&deviations);
-            rows.push(ThroughputRow {
-                p,
-                l_ms,
-                predicted_s: predicted,
-                measured_s: measured_sum / trials as f64,
-                deviations,
-            });
+            let seeds: Vec<u64> = (0..trials)
+                .map(|_| rng.fork(0).uniform().to_bits())
+                .collect();
+            cells.push((p, l_ms, seeds));
         }
+    }
+    let walls = parallel_map(cells.len() * trials, |job| {
+        let (p, l_ms, ref seeds) = cells[job / trials];
+        one_trial(p, l_ms, seeds[job % trials])
+    });
+
+    let mut rows = Vec::new();
+    let mut all = Vec::new();
+    for (cell, (p, l_ms, _)) in cells.iter().enumerate() {
+        let predicted = predicted_runtime(
+            WORK.as_secs_f64(),
+            QUANTUM.as_secs_f64(),
+            *p,
+            SimDuration::from_millis(*l_ms).as_secs_f64(),
+        );
+        let cell_walls = &walls[cell * trials..(cell + 1) * trials];
+        let deviations: Vec<f64> = cell_walls
+            .iter()
+            .map(|wall| (wall - predicted) / predicted)
+            .collect();
+        all.extend_from_slice(&deviations);
+        rows.push(ThroughputRow {
+            p: *p,
+            l_ms: *l_ms,
+            predicted_s: predicted,
+            measured_s: cell_walls.iter().sum::<f64>() / trials as f64,
+            deviations,
+        });
     }
     ThroughputValidation {
         rows,
@@ -211,17 +225,29 @@ pub fn energy_grid(
     grid_l_ms: &[u64],
 ) -> EnergyValidation {
     assert!(trials > 0, "need at least one trial");
+    // Same scheme as `throughput_grid`: sequential seed derivation,
+    // parallel trials.
     let mut rng = SimRng::new(seed);
-    let mut rows = Vec::new();
-    let mut deviations = Vec::new();
+    let mut cells = Vec::new();
     for &p in grid_p {
         for &l_ms in grid_l_ms {
-            let ratios: Vec<f64> = (0..trials)
-                .map(|_| energy_trial(p, l_ms, rng.fork(1).uniform().to_bits()))
+            let seeds: Vec<u64> = (0..trials)
+                .map(|_| rng.fork(1).uniform().to_bits())
                 .collect();
-            deviations.extend(ratios.iter().map(|r| r - 1.0));
-            rows.push(EnergyRow { p, l_ms, ratios });
+            cells.push((p, l_ms, seeds));
         }
+    }
+    let all_ratios = parallel_map(cells.len() * trials, |job| {
+        let (p, l_ms, ref seeds) = cells[job / trials];
+        energy_trial(p, l_ms, seeds[job % trials])
+    });
+
+    let mut rows = Vec::new();
+    let mut deviations = Vec::new();
+    for (cell, (p, l_ms, _)) in cells.iter().enumerate() {
+        let ratios = all_ratios[cell * trials..(cell + 1) * trials].to_vec();
+        deviations.extend(ratios.iter().map(|r| r - 1.0));
+        rows.push(EnergyRow { p: *p, l_ms: *l_ms, ratios });
     }
     EnergyValidation {
         rows,

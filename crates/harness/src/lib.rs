@@ -40,6 +40,7 @@
 
 pub mod experiments;
 mod runner;
+pub mod sweep;
 
 pub use runner::{
     build_system, build_system_on, characterize, characterize_on, tradeoff, Actuation,

@@ -1,0 +1,234 @@
+//! Parallel sweep execution engine.
+//!
+//! Every figure and table in the paper is a parameter sweep: dozens of
+//! independent characterisation runs over a `(p, L)` grid. Each run builds
+//! its own [`System`](dimetrodon_sched::System) from scratch and carries
+//! its own seed, so runs share no state and can execute on any core in any
+//! order. This module fans them across a worker pool and returns results
+//! in grid order.
+//!
+//! Determinism is preserved by construction: a point's outcome is a pure
+//! function of its [`SweepPoint`] (every experiment derives per-point
+//! seeds from grid indices, never from execution order), and results are
+//! reassembled by point index. Output is therefore bit-identical across
+//! `--jobs` values, including `--jobs 1`.
+//!
+//! The pool is `std::thread::scope` plus a shared atomic work index — no
+//! runtime dependencies. Worker count defaults to
+//! [`std::thread::available_parallelism`] and can be overridden globally
+//! with [`set_jobs`] (the `--jobs N` flag of the bench binaries and CLI).
+//!
+//! # Examples
+//!
+//! ```
+//! use dimetrodon_harness::sweep::parallel_map;
+//!
+//! let squares = parallel_map(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dimetrodon_machine::MachineConfig;
+
+use crate::runner::{characterize_on, Actuation, RunConfig, RunOutcome, SaturatingWorkload};
+
+pub use dimetrodon_sim_core::derive_seed;
+
+/// Global worker-count override: 0 means "auto" (available parallelism).
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker count used by every subsequent sweep; `0` restores the
+/// default of one worker per available core.
+pub fn set_jobs(jobs: usize) {
+    JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The worker count sweeps currently run with.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Applies `f` to every index in `0..count` across the worker pool,
+/// returning results in index order.
+///
+/// `f` must be a pure function of the index for output to be independent
+/// of worker count; all sweep callers satisfy this by deriving per-point
+/// seeds from grid indices.
+///
+/// # Panics
+///
+/// Panics if any invocation of `f` panics (the panic is propagated).
+pub fn parallel_map<T, F>(count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = jobs().min(count.max(1));
+    if workers <= 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(count);
+    slots.resize_with(count, || None);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= count {
+                            break;
+                        }
+                        produced.push((index, f(index)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            let produced = match handle.join() {
+                Ok(produced) => produced,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            for (index, value) in produced {
+                slots[index] = Some(value);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every sweep index is claimed exactly once"))
+        .collect()
+}
+
+/// One point of a characterisation sweep: which machine, workload, and
+/// actuation to run, with the point's own (index-derived) seed inside
+/// [`RunConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The platform to simulate.
+    pub machine: MachineConfig,
+    /// The saturating workload to drive.
+    pub workload: SaturatingWorkload,
+    /// The thermal-management mechanism under test.
+    pub actuation: Actuation,
+    /// Run length, measurement window, and seed.
+    pub config: RunConfig,
+}
+
+impl SweepPoint {
+    /// A point on the standard test platform.
+    pub fn new(workload: SaturatingWorkload, actuation: Actuation, config: RunConfig) -> Self {
+        SweepPoint {
+            machine: MachineConfig::xeon_e5520(),
+            workload,
+            actuation,
+            config,
+        }
+    }
+
+    /// A point on an explicit platform (sensitivity and ablation studies).
+    pub fn on(
+        machine: MachineConfig,
+        workload: SaturatingWorkload,
+        actuation: Actuation,
+        config: RunConfig,
+    ) -> Self {
+        SweepPoint {
+            machine,
+            workload,
+            actuation,
+            config,
+        }
+    }
+}
+
+/// Runs every point's characterisation across the worker pool, returning
+/// outcomes in point order.
+pub fn run_sweep(points: &[SweepPoint]) -> Vec<RunOutcome> {
+    parallel_map(points.len(), |i| {
+        let point = &points[i];
+        characterize_on(&point.machine, point.workload, point.actuation, point.config)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        // Make late indices finish first to exercise reassembly.
+        let values = parallel_map(64, |i| {
+            if i < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i * 3
+        });
+        assert_eq!(values, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_and_one_point_sweeps_work() {
+        assert_eq!(parallel_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_values() {
+        let reference: Vec<u64> = (0..40).map(|i| derive_seed(99, i)).collect();
+        for jobs in [1, 2, 3, 7] {
+            set_jobs(jobs);
+            let values = parallel_map(40, |i| derive_seed(99, i as u64));
+            assert_eq!(values, reference, "jobs = {jobs}");
+        }
+        set_jobs(0);
+    }
+
+    #[test]
+    fn pool_actually_runs_concurrently() {
+        use std::sync::atomic::AtomicUsize;
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        set_jobs(4);
+        parallel_map(16, |_| {
+            let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+            PEAK.fetch_max(live, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            LIVE.fetch_sub(1, Ordering::SeqCst);
+        });
+        set_jobs(0);
+        assert!(
+            PEAK.load(Ordering::SeqCst) > 1,
+            "expected overlapping workers, peak {}",
+            PEAK.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep point panicked")]
+    fn worker_panics_propagate() {
+        set_jobs(2);
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(8, |i| {
+                if i == 5 {
+                    panic!("sweep point panicked");
+                }
+                i
+            })
+        });
+        set_jobs(0);
+        match result {
+            Ok(_) => {}
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}

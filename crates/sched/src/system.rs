@@ -199,7 +199,10 @@ impl System {
         config: SchedConfig,
     ) -> Self {
         let num_cores = machine.num_cores();
-        let mut queue = EventQueue::new();
+        // Pending events at steady state: a few per core plus per-thread
+        // wakeups and the periodic Sample/Tick pair; 64 covers every
+        // workload here without a single heap reallocation.
+        let mut queue = EventQueue::with_capacity(64);
         queue.push(SimTime::ZERO, Event::Sample);
         queue.push(SimTime::ZERO + config.tick_interval, Event::Tick);
         System {
@@ -380,6 +383,18 @@ impl System {
     /// Runs the simulation until simulated time `t` (inclusive of events
     /// at `t`), then advances the machine model to exactly `t`.
     pub fn run_until(&mut self, t: SimTime) {
+        // Size the sample series for the whole horizon up front instead
+        // of doubling through it.
+        if t > self.now {
+            let samples = ((t - self.now).as_secs_f64()
+                / self.config.sample_interval.as_secs_f64())
+            .ceil() as usize
+                + 1;
+            self.mean_temp.reserve(samples);
+            for series in &mut self.core_temps {
+                series.reserve(samples);
+            }
+        }
         while let Some(te) = self.queue.peek_time() {
             if te > t {
                 break;
@@ -505,18 +520,26 @@ impl System {
     }
 
     fn kick_idle_cores(&mut self) {
+        if !self.config.thermal_aware_placement {
+            // Core order: check-and-schedule directly, no staging list
+            // (this runs on every wakeup/enqueue).
+            for core in 0..self.cores.len() {
+                if matches!(self.cores[core].run, CoreRun::Idle) {
+                    self.schedule_core(core);
+                }
+            }
+            return;
+        }
+        // Offer work to the coolest die first, spreading heat.
         let mut idle: Vec<usize> = (0..self.cores.len())
             .filter(|&core| matches!(self.cores[core].run, CoreRun::Idle))
             .collect();
-        if self.config.thermal_aware_placement {
-            // Offer work to the coolest die first, spreading heat.
-            idle.sort_by(|&a, &b| {
-                self.machine
-                    .core_temperature(CoreId(a))
-                    .partial_cmp(&self.machine.core_temperature(CoreId(b)))
-                    .expect("temperatures are never NaN")
-            });
-        }
+        idle.sort_by(|&a, &b| {
+            self.machine
+                .core_temperature(CoreId(a))
+                .partial_cmp(&self.machine.core_temperature(CoreId(b)))
+                .expect("temperatures are never NaN")
+        });
         for core in idle {
             if matches!(self.cores[core].run, CoreRun::Idle) {
                 self.schedule_core(core);

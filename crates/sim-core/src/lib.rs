@@ -54,6 +54,6 @@ mod series;
 mod time;
 
 pub use queue::{EventQueue, Scheduled};
-pub use rng::SimRng;
+pub use rng::{derive_seed, SimRng};
 pub use series::TimeSeries;
 pub use time::{SimDuration, SimTime};

@@ -89,6 +89,16 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty calendar with room for `capacity` pending events,
+    /// so steady-state simulations never reallocate the heap.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            last_popped: None,
+        }
+    }
+
     /// Schedules `event` to fire at `at`, returning its sequence number.
     ///
     /// Scheduling an event earlier than the last popped instant is a logic

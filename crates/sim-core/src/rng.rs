@@ -7,8 +7,91 @@
 //! experiment takes an explicit seed so that results are reproducible
 //! run-to-run, and trials differ only by their seed.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+/// The core generator: xoshiro256++, seeded via SplitMix64.
+///
+/// This is the same algorithm (and the same `seed_from_u64` expansion)
+/// that `rand 0.8`'s `SmallRng` uses on 64-bit platforms, implemented
+/// inline so the workspace carries no external randomness dependency and
+/// seeded streams stay bit-identical to the original calibration runs.
+#[derive(Debug, Clone, PartialEq)]
+struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+/// One step of the SplitMix64 sequence; returns the mixed output and
+/// advances `state`. Used for seed expansion and per-point seed derivation.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives a deterministic per-point seed from a base seed and a point
+/// index, via SplitMix64. Sweep engines use this so that every grid point
+/// gets an independent, reproducible stream that does not depend on
+/// execution order or worker count.
+#[inline]
+pub fn derive_seed(base_seed: u64, point_index: u64) -> u64 {
+    let mut state = base_seed ^ point_index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    splitmix64(&mut state)
+}
+
+impl Xoshiro256PlusPlus {
+    /// Seed expansion identical to `SeedableRng::seed_from_u64` for the
+    /// xoshiro256++ generator in `rand 0.8`: four SplitMix64 outputs.
+    fn from_u64_seed(seed: u64) -> Self {
+        let mut state = seed;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = splitmix64(&mut state);
+        }
+        Xoshiro256PlusPlus { s }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` from the high 53 bits, matching the
+    /// `Standard` distribution for floats.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, n)` by widening multiply with rejection
+    /// (Lemire's method, as in `Uniform<usize>::sample_single`).
+    #[inline]
+    fn next_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let zone = (n << n.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = self.next_u64();
+            let m = (v as u128).wrapping_mul(n as u128);
+            let lo = m as u64;
+            if lo <= zone {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
 
 /// A seeded simulation PRNG with the distributions used across the
 /// workspace.
@@ -25,7 +108,7 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    inner: Xoshiro256PlusPlus,
     /// Cached second output of the Box–Muller transform.
     spare_normal: Option<f64>,
 }
@@ -34,7 +117,7 @@ impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            inner: Xoshiro256PlusPlus::from_u64_seed(seed),
             spare_normal: None,
         }
     }
@@ -43,13 +126,13 @@ impl SimRng {
     /// thread, or subsystem its own stream so that adding draws in one
     /// place does not perturb another.
     pub fn fork(&mut self, salt: u64) -> SimRng {
-        let seed = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let seed = self.inner.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::new(seed)
     }
 
     /// A uniform sample in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        self.inner.next_f64()
     }
 
     /// A uniform sample in `[lo, hi)`.
@@ -89,7 +172,7 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.inner.gen_range(0..n)
+        self.inner.next_below(n as u64) as usize
     }
 
     /// An exponential sample with the given mean (inter-arrival times of a
@@ -143,6 +226,19 @@ impl SimRng {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn derive_seed_is_deterministic_and_spreads() {
+        assert_eq!(derive_seed(42, 7), derive_seed(42, 7));
+        // Nearby indices and nearby base seeds must land far apart.
+        let mut seen = std::collections::HashSet::new();
+        for base in 0..8u64 {
+            for idx in 0..64u64 {
+                seen.insert(derive_seed(base, idx));
+            }
+        }
+        assert_eq!(seen.len(), 8 * 64, "derived seeds must not collide");
+    }
 
     #[test]
     fn same_seed_same_stream() {

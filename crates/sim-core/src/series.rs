@@ -41,6 +41,22 @@ impl TimeSeries {
         }
     }
 
+    /// Creates an empty series with room for `capacity` samples, for
+    /// callers that know the sampling schedule up front.
+    pub fn with_capacity(name: impl Into<String>, capacity: usize) -> Self {
+        TimeSeries {
+            name: name.into(),
+            times: Vec::with_capacity(capacity),
+            values: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Reserves room for at least `additional` more samples.
+    pub fn reserve(&mut self, additional: usize) {
+        self.times.reserve(additional);
+        self.values.reserve(additional);
+    }
+
     /// The series name.
     pub fn name(&self) -> &str {
         &self.name

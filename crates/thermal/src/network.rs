@@ -193,11 +193,12 @@ impl ThermalNetworkBuilder {
             }
         }
 
-        // Adjacency with summed conductances.
-        let mut conductance = vec![vec![0.0f64; n]; n];
+        // Adjacency with summed conductances, stored row-major (the
+        // integrator walks whole rows every substep).
+        let mut conductance = vec![0.0f64; n * n];
         for &(a, b, g) in &self.edges {
-            conductance[a][b] += g;
-            conductance[b][a] += g;
+            conductance[a * n + b] += g;
+            conductance[b * n + a] += g;
         }
         let mut ambient_conductance = vec![0.0f64; n];
         for &(node, g) in &self.ambient_edges {
@@ -212,7 +213,7 @@ impl ThermalNetworkBuilder {
         }
         while let Some(i) = stack.pop() {
             for j in 0..n {
-                if conductance[i][j] > 0.0 && !reachable[j] {
+                if conductance[i * n + j] > 0.0 && !reachable[j] {
                     reachable[j] = true;
                     stack.push(j);
                 }
@@ -227,7 +228,7 @@ impl ThermalNetworkBuilder {
         }
 
         let total_conductance: Vec<f64> = (0..n)
-            .map(|i| conductance[i].iter().sum::<f64>() + ambient_conductance[i])
+            .map(|i| conductance[i * n..(i + 1) * n].iter().sum::<f64>() + ambient_conductance[i])
             .collect();
 
         // The shortest local time constant bounds the internal substep.
@@ -248,6 +249,9 @@ impl ThermalNetworkBuilder {
             temperatures: vec![self.ambient_celsius; n],
             powers: vec![0.0; n],
             max_substep: SimDuration::from_secs_f64(min_tau / 4.0),
+            scratch: vec![self.ambient_celsius; n],
+            decay: vec![0.0; n],
+            decay_dt_s: f64::NAN,
         })
     }
 }
@@ -259,12 +263,13 @@ impl ThermalNetworkBuilder {
 /// [`advance`](ThermalNetwork::advance) the network through time; power is treated as
 /// constant for the duration of each `advance` call, matching the
 /// piecewise-constant power profile of a discrete-event machine model.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ThermalNetwork {
     names: Vec<String>,
     capacitances: Vec<f64>,
-    /// `conductance[i][j]`: W/K between nodes i and j (symmetric).
-    conductance: Vec<Vec<f64>>,
+    /// `conductance[i * n + j]`: W/K between nodes i and j (symmetric,
+    /// row-major).
+    conductance: Vec<f64>,
     ambient_conductance: Vec<f64>,
     /// Cached per-node sum of incident conductances.
     total_conductance: Vec<f64>,
@@ -272,6 +277,28 @@ pub struct ThermalNetwork {
     temperatures: Vec<f64>,
     powers: Vec<f64>,
     max_substep: SimDuration,
+    /// Integrator workspace: the previous substep's temperatures.
+    scratch: Vec<f64>,
+    /// Per-node decay factors for a substep of `decay_dt_s` seconds.
+    /// Nearly every substep is `max_substep` long, so the `exp()`s are
+    /// computed once and reused.
+    decay: Vec<f64>,
+    decay_dt_s: f64,
+}
+
+impl PartialEq for ThermalNetwork {
+    fn eq(&self, other: &Self) -> bool {
+        // The integrator workspace (`scratch`, `decay`, `decay_dt_s`) is
+        // not part of the network's observable state.
+        self.names == other.names
+            && self.capacitances == other.capacitances
+            && self.conductance == other.conductance
+            && self.ambient_conductance == other.ambient_conductance
+            && self.ambient_celsius == other.ambient_celsius
+            && self.temperatures == other.temperatures
+            && self.powers == other.powers
+            && self.max_substep == other.max_substep
+    }
 }
 
 impl ThermalNetwork {
@@ -344,18 +371,31 @@ impl ThermalNetwork {
     }
 
     /// One exponential-Euler substep of `dt_s` seconds.
+    ///
+    /// Allocation-free: the previous temperatures live in a swapped
+    /// scratch buffer, and the per-node `exp()` decay factors are cached
+    /// across substeps of the same length.
     fn substep(&mut self, dt_s: f64) {
         let n = self.temperatures.len();
-        let old = self.temperatures.clone();
+        if dt_s != self.decay_dt_s {
+            for i in 0..n {
+                self.decay[i] =
+                    (-self.total_conductance[i] * dt_s / self.capacitances[i]).exp();
+            }
+            self.decay_dt_s = dt_s;
+        }
+        std::mem::swap(&mut self.temperatures, &mut self.scratch);
+        let old = &self.scratch;
         for i in 0..n {
             let g_tot = self.total_conductance[i];
-            let neighbour_heat: f64 = (0..n)
-                .map(|j| self.conductance[i][j] * old[j])
+            let neighbour_heat: f64 = self.conductance[i * n..(i + 1) * n]
+                .iter()
+                .zip(old)
+                .map(|(&g, &t)| g * t)
                 .sum::<f64>()
                 + self.ambient_conductance[i] * self.ambient_celsius;
             let t_eq = (self.powers[i] + neighbour_heat) / g_tot;
-            let decay = (-g_tot * dt_s / self.capacitances[i]).exp();
-            self.temperatures[i] = t_eq + (old[i] - t_eq) * decay;
+            self.temperatures[i] = t_eq + (old[i] - t_eq) * self.decay[i];
         }
     }
 
@@ -374,8 +414,8 @@ impl ThermalNetwork {
         for (i, rhs_i) in rhs.iter_mut().enumerate() {
             matrix.set(i, i, self.total_conductance[i]);
             for j in 0..n {
-                if i != j && self.conductance[i][j] > 0.0 {
-                    matrix.add_to(i, j, -self.conductance[i][j]);
+                if i != j && self.conductance[i * n + j] > 0.0 {
+                    matrix.add_to(i, j, -self.conductance[i * n + j]);
                 }
             }
             *rhs_i = self.powers[i] + self.ambient_conductance[i] * self.ambient_celsius;
@@ -433,7 +473,7 @@ impl ThermalNetwork {
         (0..n)
             .map(|i| {
                 let neighbour: f64 = (0..n)
-                    .map(|j| self.conductance[i][j] * (temps[j] - temps[i]))
+                    .map(|j| self.conductance[i * n + j] * (temps[j] - temps[i]))
                     .sum();
                 let ambient =
                     self.ambient_conductance[i] * (self.ambient_celsius - temps[i]);
