@@ -126,6 +126,35 @@ impl Histogram {
         below as f64 / self.count as f64
     }
 
+    /// Approximate `q`-quantile (`0 <= q <= 1`) at bin resolution: the
+    /// upper edge of the first bin at which the cumulative count reaches
+    /// `ceil(q * n)` (at least one sample). Underflow samples resolve to
+    /// `lo` and overflow samples to `hi`, so the result always lies in
+    /// `[lo, hi]`. Returns `None` for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if seen >= rank {
+            return Some(self.lo);
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &n) in self.bins.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(self.lo + (i as f64 + 1.0) * width);
+            }
+        }
+        Some(self.hi)
+    }
+
     /// Renders a compact text bar chart, one line per non-empty bin.
     pub fn render(&self, max_width: usize) -> String {
         let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
@@ -218,6 +247,37 @@ mod tests {
     }
 
     #[test]
+    fn quantile_known_values() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for v in [1.5, 2.5, 3.5, 4.5] {
+            h.add(v);
+        }
+        // rank 1 of 4 lands in bin [1, 2); its upper edge is 2.0.
+        assert_eq!(h.quantile(0.25), Some(2.0));
+        assert_eq!(h.quantile(0.5), Some(3.0));
+        assert_eq!(h.quantile(1.0), Some(5.0));
+        assert_eq!(Histogram::new(0.0, 1.0, 2).quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range_samples() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(-5.0);
+        h.add(5.5);
+        h.add(50.0);
+        assert_eq!(h.quantile(0.0), Some(0.0)); // underflow resolves to lo
+        assert_eq!(h.quantile(1.0), Some(10.0)); // overflow resolves to hi
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn quantile_rejects_bad_q() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(0.5);
+        h.quantile(1.5);
+    }
+
+    #[test]
     #[should_panic(expected = "bad range")]
     fn inverted_range_panics() {
         Histogram::new(2.0, 1.0, 4);
@@ -253,6 +313,26 @@ mod tests {
                 let f = h.fraction_below(step as f64 / 2.0);
                 prop_assert!(f >= prev - 1e-12);
                 prev = f;
+            }
+        }
+
+        /// Quantiles stay within [lo, hi] and are monotone in q, even with
+        /// under/overflow samples present.
+        #[test]
+        fn prop_quantile_bounds_and_monotone(
+            values in prop::collection::vec(-20.0f64..20.0, 1..150)
+        ) {
+            let mut h = Histogram::new(-10.0, 10.0, 16);
+            for &v in &values {
+                h.add(v);
+            }
+            let mut prev = f64::NEG_INFINITY;
+            for i in 0..=10 {
+                let q = i as f64 / 10.0;
+                let x = h.quantile(q).unwrap();
+                prop_assert!((-10.0..=10.0).contains(&x), "quantile {x} out of range");
+                prop_assert!(x >= prev, "quantile not monotone: {x} < {prev}");
+                prev = x;
             }
         }
     }

@@ -69,9 +69,8 @@ pub fn pareto_frontier<T: Clone>(points: &[TradeoffPoint<T>]) -> Vec<TradeoffPoi
     // points that raise the best-seen benefit.
     sorted.sort_by(|a, b| {
         a.cost
-            .partial_cmp(&b.cost)
-            .expect("no NaN")
-            .then(b.benefit.partial_cmp(&a.benefit).expect("no NaN"))
+            .total_cmp(&b.cost)
+            .then(b.benefit.total_cmp(&a.benefit))
     });
     let mut frontier: Vec<TradeoffPoint<T>> = Vec::new();
     let mut best_benefit = f64::NEG_INFINITY;
@@ -81,18 +80,17 @@ pub fn pareto_frontier<T: Clone>(points: &[TradeoffPoint<T>]) -> Vec<TradeoffPoi
             frontier.push(p.clone());
         }
     }
-    frontier.sort_by(|a, b| a.benefit.partial_cmp(&b.benefit).expect("no NaN"));
+    frontier.sort_by(|a, b| a.benefit.total_cmp(&b.benefit));
     frontier
 }
 
 /// Interpolates the frontier's cost at a given benefit level (linear
 /// between frontier points; `None` outside the frontier's benefit range).
 pub fn frontier_cost_at<T>(frontier: &[TradeoffPoint<T>], benefit: f64) -> Option<f64> {
-    if frontier.is_empty() {
-        return None;
-    }
-    let first = frontier.first().expect("non-empty");
-    let last = frontier.last().expect("non-empty");
+    let (first, last) = match (frontier.first(), frontier.last()) {
+        (Some(first), Some(last)) => (first, last),
+        _ => return None,
+    };
     if benefit < first.benefit || benefit > last.benefit {
         return None;
     }
@@ -214,6 +212,30 @@ mod tests {
             for p in &pts {
                 let covered = f.iter().any(|fp| fp.benefit >= p.benefit && fp.cost <= p.cost);
                 prop_assert!(covered, "input point not covered by frontier");
+            }
+        }
+
+        /// The interpolated frontier cost is monotone non-decreasing in
+        /// benefit: more temperature reduction never gets cheaper.
+        #[test]
+        fn prop_frontier_cost_monotone(
+            raw in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..60)
+        ) {
+            let pts: Vec<TradeoffPoint<usize>> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(b, c))| TradeoffPoint::new(b, c, i))
+                .collect();
+            let f = pareto_frontier(&pts);
+            let lo_b = f.first().unwrap().benefit;
+            let hi_b = f.last().unwrap().benefit;
+            let mut prev = f64::NEG_INFINITY;
+            for i in 0..=20 {
+                let b = lo_b + (hi_b - lo_b) * i as f64 / 20.0;
+                if let Some(c) = frontier_cost_at(&f, b) {
+                    prop_assert!(c >= prev - 1e-9, "cost fell from {prev} to {c}");
+                    prev = c;
+                }
             }
         }
     }

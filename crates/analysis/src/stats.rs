@@ -146,5 +146,15 @@ mod tests {
             prop_assert!((b.mean - (a.mean + shift)).abs() < 1e-6);
             prop_assert!((b.std_dev - a.std_dev).abs() < 1e-6);
         }
+
+        /// The 95 % CI brackets the mean and the standard error never
+        /// exceeds the standard deviation.
+        #[test]
+        fn prop_ci_and_std_err_bounds(values in prop::collection::vec(-1e3f64..1e3, 1..80)) {
+            let s = Summary::of(&values);
+            let (lo, hi) = s.ci95();
+            prop_assert!(lo <= s.mean && s.mean <= hi);
+            prop_assert!(s.std_err() <= s.std_dev + 1e-12);
+        }
     }
 }

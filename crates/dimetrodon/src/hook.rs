@@ -1,6 +1,6 @@
 //! The Dimetrodon scheduler hook: idle cycle injection.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dimetrodon_sched::{Decision, SchedHook, ScheduleContext, ThreadId};
 use dimetrodon_sim_core::SimRng;
@@ -40,7 +40,7 @@ pub struct DimetrodonHook {
     rng: SimRng,
     /// Error-diffusion accumulators for the deterministic model, one per
     /// thread.
-    stride_acc: HashMap<ThreadId, f64>,
+    stride_acc: BTreeMap<ThreadId, f64>,
     decisions: u64,
     injections: u64,
 }
@@ -58,7 +58,7 @@ impl DimetrodonHook {
             policy,
             model,
             rng: SimRng::new(seed),
-            stride_acc: HashMap::new(),
+            stride_acc: BTreeMap::new(),
             decisions: 0,
             injections: 0,
         }

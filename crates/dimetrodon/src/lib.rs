@@ -56,6 +56,8 @@
 
 mod controller;
 mod hook;
+/// The paper's analytic delay model `D(t) = R + S·p/(1−p)·L` and its
+/// calibration helpers.
 pub mod model;
 mod planner;
 mod policy;

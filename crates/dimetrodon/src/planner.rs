@@ -154,6 +154,8 @@ impl PolicyPlanner {
         loop {
             let l_over_q = l.as_secs_f64() / self.quantum.as_secs_f64();
             let p = p_for_throughput_reduction(budget, l_over_q)
+                // simlint::allow(R1): budget is clamped into (0, 1) above,
+                // for which the closed form always has a solution.
                 .expect("budget < 1 always solvable");
             if p <= self.max_p {
                 return Ok(InjectionParams::new(p, l));

@@ -9,7 +9,7 @@
 //! "we always schedule kernel-level threads" default).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -96,7 +96,7 @@ pub enum InjectionModel {
 #[derive(Debug, Default)]
 pub struct PolicyTable {
     global: Option<InjectionParams>,
-    per_thread: HashMap<ThreadId, Option<InjectionParams>>,
+    per_thread: BTreeMap<ThreadId, Option<InjectionParams>>,
     inject_kernel_threads: bool,
 }
 

@@ -15,7 +15,7 @@
 //! cooling at all — which is why the paper turned SMT off rather than
 //! inject naively.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dimetrodon_machine::CoreId;
 use dimetrodon_sched::{Decision, SchedHook, ScheduleContext};
@@ -33,7 +33,7 @@ pub struct SmtCoScheduler {
     inner: DimetrodonHook,
     /// Outstanding co-idle requests: sibling CPU → end of the window it
     /// should idle out.
-    pending: HashMap<CoreId, SimTime>,
+    pending: BTreeMap<CoreId, SimTime>,
     co_injections: u64,
 }
 
@@ -46,7 +46,7 @@ impl SmtCoScheduler {
     pub fn new(inner: DimetrodonHook) -> Self {
         SmtCoScheduler {
             inner,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             co_injections: 0,
         }
     }

@@ -40,7 +40,7 @@ pub fn run(config: RunConfig) -> Fig2Data {
         .iter()
         .enumerate()
         .map(|(i, &p)| {
-            let actuation = if p == 0.0 {
+            let actuation = if p <= 0.0 {
                 Actuation::None
             } else {
                 Actuation::Injection {

@@ -58,7 +58,7 @@ impl Fig5Data {
             .filter(|p| p.scope == scope)
             .copied()
             .collect();
-        pts.sort_by(|a, b| a.temp_reduction.partial_cmp(&b.temp_reduction).expect("no NaN"));
+        pts.sort_by(|a, b| a.temp_reduction.total_cmp(&b.temp_reduction));
         pts
     }
 }
@@ -74,6 +74,7 @@ struct MixOutcome {
 
 
 fn run_mix(p: Option<f64>, scope: PolicyScope, config: RunConfig) -> MixOutcome {
+    // simlint::allow(R1): the Xeon preset is a static, always-valid config.
     let mut machine = Machine::new(MachineConfig::xeon_e5520()).expect("valid preset");
     machine.settle_idle();
     let idle_temp = machine.idle_temperature();
@@ -113,6 +114,8 @@ fn run_mix(p: Option<f64>, scope: PolicyScope, config: RunConfig) -> MixOutcome 
     system.run_until(SimTime::ZERO + config.duration);
     let tail_temp = system
         .observed_temp_over(SimTime::ZERO + (config.duration - config.measure_window))
+        // simlint::allow(R1): the run always covers the measure window, so
+        // dispatch samples exist; an empty window is a harness bug.
         .expect("samples exist");
     MixOutcome {
         tail_temp,
@@ -158,6 +161,8 @@ pub fn run_subset(config: RunConfig, sweep_p: &[f64]) -> Fig5Data {
     let base_rise = base.tail_temp - base.idle_temp;
     let base_cycle = base
         .cool_cycle_wall
+        // simlint::allow(R1): the uninjected baseline always completes
+        // cool-process cycles inside the run window.
         .expect("baseline cool process completed cycles");
 
     let points = grid

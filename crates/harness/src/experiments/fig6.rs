@@ -59,6 +59,7 @@ struct WebOutcome {
 }
 
 fn run_web(policy_params: Option<InjectionParams>, config: RunConfig) -> WebOutcome {
+    // simlint::allow(R1): the Xeon preset is a static, always-valid config.
     let mut machine = Machine::new(MachineConfig::xeon_e5520()).expect("valid preset");
     machine.settle_idle();
     let idle_temp = machine.idle_temperature();
@@ -73,6 +74,8 @@ fn run_web(policy_params: Option<InjectionParams>, config: RunConfig) -> WebOutc
     system.run_until(SimTime::ZERO + config.duration);
     let tail_temp = system
         .observed_temp_over(SimTime::ZERO + (config.duration - config.measure_window))
+        // simlint::allow(R1): the run always covers the measure window, so
+        // dispatch samples exist; an empty window is a harness bug.
         .expect("samples exist");
     WebOutcome {
         tail_temp,

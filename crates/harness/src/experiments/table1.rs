@@ -151,6 +151,9 @@ pub fn run_workloads(
             .map(|pt| (pt.benefit, pt.cost))
             .collect();
         let fit = fit_power_law(&fit_points)
+            // simlint::allow(R1): a failed fit means the sweep produced a
+            // degenerate frontier; fail loudly with the workload name
+            // rather than emit a half-empty table.
             .unwrap_or_else(|e| panic!("fit failed for {name}: {e}"));
 
         rows.push(Table1Row {

@@ -80,6 +80,8 @@ fn one_trial(p: f64, l_ms: u64, seed: u64) -> f64 {
     system
         .thread_stats(id)
         .wall_time()
+        // simlint::allow(R1): run_until_exited success is asserted on the
+        // line above, so wall_time is present.
         .expect("exited")
         .as_secs_f64()
 }
@@ -193,6 +195,7 @@ fn energy_trial(p: f64, l_ms: u64, seed: u64) -> f64 {
     );
     let window = system.now();
     system.run_until(window); // flush machine advance to `now`
+    // simlint::allow(R1): the meter is attached earlier in this function.
     let dimetrodon_joules = system.power_meter().expect("attached").measured_joules();
 
     // Race-to-idle run over the same window length.
@@ -206,6 +209,7 @@ fn energy_trial(p: f64, l_ms: u64, seed: u64) -> f64 {
     let id = base.spawn(ThreadKind::User, Box::new(CpuBurn::finite(WORK)));
     base.run_until(window);
     assert!(base.has_exited(id), "race-to-idle must finish within the window");
+    // simlint::allow(R1): the meter is attached earlier in this function.
     let rti_joules = base.power_meter().expect("attached").measured_joules();
 
     dimetrodon_joules / rti_joules

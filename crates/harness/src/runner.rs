@@ -142,6 +142,8 @@ pub fn build_system_on(
     actuation: Actuation,
     seed: u64,
 ) -> (System, Option<PolicyHandle>) {
+    // simlint::allow(R1): every caller passes a preset or a perturbation of
+    // one; an invalid config is a harness bug worth a loud stop.
     let mut machine = Machine::new(machine_config.clone()).expect("machine config is valid");
     machine.settle_idle();
     match actuation {
@@ -221,6 +223,8 @@ pub fn characterize_on(
     // monitoring process, which land at scheduling boundaries.
     let tail_temp = system
         .observed_temp_over(config.measure_from())
+        // simlint::allow(R1): the run always covers the measure window, so
+        // dispatch samples exist; an empty window is a harness bug.
         .expect("run produced dispatch samples");
     let executed: f64 = ids
         .iter()

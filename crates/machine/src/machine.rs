@@ -472,8 +472,26 @@ impl Machine {
             return package;
         }
         self.apply_powers();
+        if cfg!(feature = "invariants") {
+            // Energy conservation at the thermal boundary: the watts split
+            // across hotspot/die/package nodes must sum back to the package
+            // power being metered, or heat is silently created/destroyed.
+            let injected = self.network.total_power();
+            assert!(
+                (injected - package).abs() <= 1e-9 * package.max(1.0),
+                "power-split invariant violated: injected {injected} W \
+                 vs package {package} W"
+            );
+        }
         self.network.advance(dt);
+        let elapsed_before = self.energy.elapsed();
         self.energy.accumulate(package, dt);
+        dimetrodon_sim_core::sim_invariant!(
+            self.energy.elapsed() == elapsed_before + dt,
+            "energy meter clock drifted: {} != {} + {dt}",
+            self.energy.elapsed(),
+            elapsed_before
+        );
         package
     }
 

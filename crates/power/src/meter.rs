@@ -59,7 +59,7 @@ impl EnergyMeter {
     /// has accumulated).
     pub fn mean_watts(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
-        if secs == 0.0 {
+        if secs <= 0.0 {
             0.0
         } else {
             self.joules / secs

@@ -154,6 +154,8 @@ impl PStateTable {
 
     /// The slowest operating point.
     pub fn slowest(&self) -> PState {
+        // simlint::allow(R1): the builder rejects empty tables, so a
+        // constructed PStateTable always has a last entry.
         *self.states.last().expect("table is non-empty")
     }
 

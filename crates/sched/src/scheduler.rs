@@ -2,7 +2,7 @@
 //! modified, and a ULE-lite per-CPU variant for footnote 2's "the mechanism
 //! generalises to ULE and other schedulers".
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use dimetrodon_machine::CoreId;
@@ -60,7 +60,7 @@ pub trait Scheduler: fmt::Debug {
 #[derive(Debug)]
 pub struct BsdScheduler {
     timeslice: SimDuration,
-    meta: HashMap<ThreadId, BsdEntity>,
+    meta: BTreeMap<ThreadId, BsdEntity>,
     /// Priority band -> FIFO of runnable threads. Lower band runs first.
     queues: BTreeMap<u32, VecDeque<ThreadId>>,
     runnable: usize,
@@ -106,7 +106,7 @@ impl BsdScheduler {
         assert!(!timeslice.is_zero(), "timeslice must be positive");
         BsdScheduler {
             timeslice,
-            meta: HashMap::new(),
+            meta: BTreeMap::new(),
             queues: BTreeMap::new(),
             runnable: 0,
         }
@@ -129,14 +129,15 @@ impl Scheduler for BsdScheduler {
     }
 
     fn enqueue(&mut self, id: ThreadId, _last_core: Option<CoreId>) {
+        // simlint::allow(R1): enqueueing a never-spawned thread is a System
+        // logic error; a should_panic test pins this contract.
         let entity = self.meta.get(&id).expect("enqueue of unknown thread");
         self.queues.entry(entity.band()).or_default().push_back(id);
         self.runnable += 1;
     }
 
     fn pick(&mut self, _core: CoreId) -> Option<ThreadId> {
-        let (&band, _) = self.queues.iter().find(|(_, q)| !q.is_empty())?;
-        let queue = self.queues.get_mut(&band).expect("band exists");
+        let (&band, queue) = self.queues.iter_mut().find(|(_, q)| !q.is_empty())?;
         let id = queue.pop_front();
         if queue.is_empty() {
             self.queues.remove(&band);
@@ -179,7 +180,7 @@ impl Scheduler for BsdScheduler {
 #[derive(Debug)]
 pub struct UleScheduler {
     timeslice: SimDuration,
-    kinds: HashMap<ThreadId, ThreadKind>,
+    kinds: BTreeMap<ThreadId, ThreadKind>,
     /// Per-core [kernel, user] queues.
     queues: Vec<[VecDeque<ThreadId>; 2]>,
     next_core: usize,
@@ -199,7 +200,7 @@ impl UleScheduler {
         assert!(num_cores > 0, "need at least one core");
         UleScheduler {
             timeslice: Self::TIMESLICE,
-            kinds: HashMap::new(),
+            kinds: BTreeMap::new(),
             queues: (0..num_cores)
                 .map(|_| [VecDeque::new(), VecDeque::new()])
                 .collect(),
@@ -230,6 +231,8 @@ impl Scheduler for UleScheduler {
     }
 
     fn enqueue(&mut self, id: ThreadId, last_core: Option<CoreId>) {
+        // simlint::allow(R1): same spawn-before-enqueue contract as
+        // BsdScheduler; a System logic error, not a recoverable state.
         let kind = *self.kinds.get(&id).expect("enqueue of unknown thread");
         // Affinity: requeue where the thread last ran; otherwise round-
         // robin placement.

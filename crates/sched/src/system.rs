@@ -395,11 +395,7 @@ impl System {
                 series.reserve(samples);
             }
         }
-        while let Some(te) = self.queue.peek_time() {
-            if te > t {
-                break;
-            }
-            let scheduled = self.queue.pop().expect("peeked event exists");
+        while let Some(scheduled) = self.queue.pop_at_or_before(t) {
             self.advance_to(scheduled.at);
             self.dispatch(scheduled.event);
         }
@@ -413,13 +409,12 @@ impl System {
             if ids.iter().all(|&id| self.has_exited(id)) {
                 return true;
             }
-            match self.queue.peek_time() {
-                Some(te) if te <= deadline => {
-                    let scheduled = self.queue.pop().expect("peeked event exists");
+            match self.queue.pop_at_or_before(deadline) {
+                Some(scheduled) => {
                     self.advance_to(scheduled.at);
                     self.dispatch(scheduled.event);
                 }
-                _ => return ids.iter().all(|&id| self.has_exited(id)),
+                None => return ids.iter().all(|&id| self.has_exited(id)),
             }
         }
     }
@@ -436,6 +431,14 @@ impl System {
                 meter.observe(self.last_advance, dt, watts);
             }
             self.last_advance = t;
+            dimetrodon_sim_core::sim_invariant!(
+                self.machine.energy().elapsed()
+                    == self.last_advance.saturating_since(SimTime::ZERO),
+                "energy accounting drifted from scheduler time: meter at {}, \
+                 scheduler at {}",
+                self.machine.energy().elapsed(),
+                self.last_advance
+            );
         }
         if t > self.now {
             self.now = t;
@@ -537,8 +540,7 @@ impl System {
         idle.sort_by(|&a, &b| {
             self.machine
                 .core_temperature(CoreId(a))
-                .partial_cmp(&self.machine.core_temperature(CoreId(b)))
-                .expect("temperatures are never NaN")
+                .total_cmp(&self.machine.core_temperature(CoreId(b)))
         });
         for core in idle {
             if matches!(self.cores[core].run, CoreRun::Idle) {
@@ -683,6 +685,9 @@ impl System {
     fn start_segment(&mut self, core: usize, tid: ThreadId, slice_end: SimTime, speed: f64) {
         let burst = self.threads[tid.0 as usize]
             .pending
+            // simlint::allow(R1): a dispatched thread always carries a
+            // pending burst (make_runnable is only called with one); the
+            // token mechanism keeps stale events from reaching here.
             .expect("running thread has a pending burst");
         self.machine
             .set_core_state(CoreId(core), PowerCoreState::active(burst.activity));
@@ -730,6 +735,8 @@ impl System {
         let ran = self.now - segment_start;
         let progress = ran.mul_f64(speed);
         let ts = &mut self.threads[thread.0 as usize];
+        // simlint::allow(R1): Running state implies a pending burst; see
+        // start_segment.
         let burst = ts.pending.expect("running thread has a burst");
         let remaining = burst.cpu_time.saturating_sub(progress);
         ts.stats.cpu_executed += burst.cpu_time - remaining;
@@ -758,6 +765,8 @@ impl System {
         };
         let ran = self.now - segment_start;
         let ts = &mut self.threads[thread.0 as usize];
+        // simlint::allow(R1): Running state implies a pending burst; see
+        // start_segment.
         let burst = ts.pending.take().expect("running thread has a burst");
         ts.stats.cpu_executed += burst.cpu_time;
         ts.stats.bursts_completed += 1;

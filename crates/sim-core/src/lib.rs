@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod invariant;
 mod queue;
 mod rng;
 mod series;

@@ -124,6 +124,12 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest pending event.
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
         let entry = self.heap.pop()?;
+        crate::sim_invariant!(
+            self.last_popped.is_none_or(|watermark| entry.at >= watermark),
+            "event queue popped {} before the {:?} watermark: timestamps must be monotone",
+            entry.at,
+            self.last_popped
+        );
         self.last_popped = Some(entry.at);
         Some(Scheduled {
             at: entry.at,
@@ -135,6 +141,19 @@ impl<E> EventQueue<E> {
     /// The instant of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.at)
+    }
+
+    /// Removes and returns the earliest pending event if it fires at or
+    /// before `deadline`.
+    ///
+    /// This is the event-loop primitive: it fuses the peek-then-pop pair so
+    /// callers never need to re-assert that the peeked event still exists.
+    pub fn pop_at_or_before(&mut self, deadline: SimTime) -> Option<Scheduled<E>> {
+        if self.heap.peek().is_some_and(|e| e.at <= deadline) {
+            self.pop()
+        } else {
+            None
+        }
     }
 
     /// Number of pending events.

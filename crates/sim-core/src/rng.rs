@@ -156,9 +156,12 @@ impl SimRng {
     pub fn bernoulli(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
         // Make the endpoints exact regardless of float draw behaviour.
+        // simlint::allow(D4): exact endpoint tests are the point — p == 0
+        // must never inject and p == 1 must always inject.
         if p == 0.0 {
             return false;
         }
+        // simlint::allow(D4): see above.
         if p == 1.0 {
             return true;
         }

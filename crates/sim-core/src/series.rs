@@ -72,6 +72,11 @@ impl TimeSeries {
             assert!(at >= last, "sample at {at} precedes last sample at {last}");
         }
         assert!(!value.is_nan(), "NaN sample in series {}", self.name);
+        crate::sim_invariant!(
+            value.is_finite(),
+            "non-finite sample {value} in series {}",
+            self.name
+        );
         self.times.push(at);
         self.values.push(value);
     }
@@ -220,6 +225,26 @@ impl TimeSeries {
             (Some(&a), Some(&b)) => b - a,
             _ => SimDuration::ZERO,
         }
+    }
+}
+
+#[cfg(all(test, feature = "invariants"))]
+mod invariant_tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "non-finite sample")]
+    fn infinite_sample_is_rejected() {
+        let mut s = TimeSeries::new("test");
+        s.push(SimTime::ZERO, f64::INFINITY);
+    }
+
+    #[test]
+    fn finite_samples_pass() {
+        let mut s = TimeSeries::new("test");
+        s.push(SimTime::ZERO, 1.5);
+        s.push(SimTime::from_millis(1), -2.5);
+        assert_eq!(s.len(), 2);
     }
 }
 

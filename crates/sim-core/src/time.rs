@@ -230,6 +230,8 @@ impl Sub<SimTime> for SimTime {
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
+                // simlint::allow(R1): documented panic; saturating_since is
+                // the non-panicking alternative.
                 .expect("SimTime subtraction underflow"),
         )
     }
@@ -241,6 +243,9 @@ impl Sub<SimDuration> for SimTime {
         SimTime(
             self.0
                 .checked_sub(rhs.0)
+                // simlint::allow(R1): underflow here means the caller
+                // rewound time before the epoch — a logic error worth a
+                // loud stop, matching EventQueue's past-scheduling panic.
                 .expect("SimTime - SimDuration underflow"),
         )
     }
@@ -269,6 +274,8 @@ impl Sub for SimDuration {
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
+                // simlint::allow(R1): documented panic; saturating_sub is
+                // the non-panicking alternative.
                 .expect("SimDuration subtraction underflow"),
         )
     }

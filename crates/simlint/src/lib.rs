@@ -1,0 +1,426 @@
+//! simlint — workspace-native determinism and invariant lints.
+//!
+//! The reproduction's headline guarantee is bit-identical results at every
+//! worker count; one stray `HashMap` iteration, wall-clock read, or unseeded
+//! RNG in a hot path silently breaks that. `simlint` is a dependency-free
+//! line scanner that walks the workspace sources and enforces the project
+//! rules with `file:line` diagnostics, rule IDs, severity levels, and
+//! `// simlint::allow(rule-id)` suppressions.
+//!
+//! The rule set lives in [`rules::Rule`]; which rules apply to which crate
+//! is decided by [`rules_for_crate`] — vendored shims (`proptest`,
+//! `criterion`) and simlint itself are exempt, application crates get a
+//! reduced set, and the result-path library crates get everything.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod rules;
+pub mod scan;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use rules::{Rule, Severity};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// The outcome of linting one source file.
+#[derive(Debug, Default)]
+pub struct FileLint {
+    /// Findings that were not suppressed.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of findings silenced by `simlint::allow` comments.
+    pub suppressed: usize,
+}
+
+/// The outcome of linting the whole workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All unsuppressed findings, ordered by file then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Total suppressions honored across all files.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Counts findings at the given effective severity.
+    pub fn count_at(&self, severity: Severity, deny_warnings: bool) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| effective_severity(d.rule, deny_warnings) == severity)
+            .count()
+    }
+}
+
+/// A rule's severity after any `--deny-warnings` promotion.
+pub fn effective_severity(rule: Rule, deny_warnings: bool) -> Severity {
+    if deny_warnings {
+        Severity::Deny
+    } else {
+        rule.default_severity()
+    }
+}
+
+/// Which rules apply to a crate directory under `crates/`.
+///
+/// Policy:
+/// - `sim-core`, `dimetrodon`: the full set, including `Doc1` — these are
+///   the two crates the paper's API surface lives in.
+/// - other result-path library crates (`thermal`, `power`, `machine`,
+///   `sched`, `workload`, `analysis`, `harness`): everything but `Doc1`
+///   (they already build with `#![warn(missing_docs)]`).
+/// - `cli`: determinism rules only (`D2`, `D3`); an application binary may
+///   read the wall clock for UX and panic at the top level.
+/// - `bench`: `D3` only; measuring wall-clock time is its entire purpose.
+/// - vendored shims (`proptest`, `criterion`) and `simlint` itself: exempt.
+pub fn rules_for_crate(dir_name: &str) -> &'static [Rule] {
+    const FULL: &[Rule] = &[Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::R1, Rule::Doc1];
+    const LIB: &[Rule] = &[Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::R1];
+    const APP: &[Rule] = &[Rule::D2, Rule::D3];
+    const BENCH: &[Rule] = &[Rule::D3];
+    match dir_name {
+        "sim-core" | "dimetrodon" => FULL,
+        "thermal" | "power" | "machine" | "sched" | "workload" | "analysis" | "harness" => LIB,
+        "cli" => APP,
+        "bench" => BENCH,
+        _ => &[],
+    }
+}
+
+/// Per-file exemptions that are part of the policy rather than inline
+/// suppressions.
+///
+/// The vendored PRNG is the one place allowed to talk about RNG seeding
+/// machinery — it *is* the seeded PRNG the rest of the workspace must use.
+pub fn file_exempt(crate_name: &str, rel_path: &str, rule: Rule) -> bool {
+    crate_name == "sim-core" && rel_path.ends_with("rng.rs") && rule == Rule::D3
+}
+
+/// Extracts every rule named by `simlint::allow(...)` in a comment.
+fn parse_allows(comment: &str) -> Vec<Rule> {
+    let mut allows = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("simlint::allow(") {
+        let args = &rest[pos + "simlint::allow(".len()..];
+        if let Some(close) = args.find(')') {
+            for id in args[..close].split(',') {
+                if let Some(rule) = Rule::parse(id) {
+                    allows.push(rule);
+                }
+            }
+            rest = &args[close + 1..];
+        } else {
+            break;
+        }
+    }
+    allows
+}
+
+/// True if a cleaned code line carries a `#[cfg(test)]`-style attribute.
+fn is_cfg_test_attr(code: &str) -> bool {
+    code.contains("cfg(test)") || code.contains("cfg(all(test") || code.contains("cfg(any(test")
+}
+
+/// Lints one file's source text under the given rule set.
+///
+/// `file` is the path recorded in diagnostics; it does not need to exist on
+/// disk, which is what lets the self-tests lint fixture strings.
+pub fn lint_source(file: &str, source: &str, enabled: &[Rule]) -> FileLint {
+    let mut out = FileLint::default();
+    if enabled.is_empty() {
+        return out;
+    }
+    let mut cleaner = scan::Cleaner::new();
+    // Brace depth, and the depths at which #[cfg(test)] blocks opened.
+    let mut depth: i64 = 0;
+    let mut test_stack: Vec<i64> = Vec::new();
+    let mut pending_cfg_test = false;
+    // Suppressions from comment-only lines apply to the next code line.
+    let mut pending_allows: Vec<Rule> = Vec::new();
+    // Doc-comment adjacency for Doc1 (sticky through attributes/blanks).
+    let mut has_doc = false;
+    // Bracket balance of an attribute spanning multiple lines.
+    let mut attr_depth: i64 = 0;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let cleaned = cleaner.clean(raw);
+        let code_t = cleaned.code.trim().to_string();
+        let allows_here = parse_allows(&cleaned.comment);
+
+        if code_t.is_empty() {
+            // Comment-only or blank line.
+            pending_allows.extend(allows_here);
+            let raw_t = raw.trim_start();
+            if raw_t.starts_with("///") || raw_t.starts_with("//!") {
+                has_doc = true;
+            }
+            continue;
+        }
+
+        let mut allows = allows_here;
+        allows.append(&mut pending_allows);
+
+        if is_cfg_test_attr(&cleaned.code) {
+            pending_cfg_test = true;
+        }
+        let in_test = !test_stack.is_empty() || pending_cfg_test;
+
+        let is_attr = attr_depth > 0 || code_t.starts_with("#[") || code_t.starts_with("#![");
+        if is_attr {
+            for c in cleaned.code.chars() {
+                match c {
+                    '[' => attr_depth += 1,
+                    ']' => attr_depth = (attr_depth - 1).max(0),
+                    _ => {}
+                }
+            }
+        }
+
+        if !in_test && !is_attr {
+            for (rule, message) in rules::check_line(&cleaned.code, enabled, has_doc) {
+                if allows.contains(&rule) {
+                    out.suppressed += 1;
+                } else {
+                    out.diagnostics.push(Diagnostic {
+                        file: file.to_string(),
+                        line: line_no,
+                        rule,
+                        message,
+                    });
+                }
+            }
+        }
+
+        // Track braces and #[cfg(test)] regions *after* checking, so the
+        // closing brace of a test module is still skipped and the opening
+        // line of one is too.
+        for c in cleaned.code.chars() {
+            match c {
+                '{' => {
+                    if pending_cfg_test {
+                        test_stack.push(depth);
+                        pending_cfg_test = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_stack.last() == Some(&depth) {
+                        test_stack.pop();
+                    }
+                }
+                ';' if pending_cfg_test && !is_attr => {
+                    // `#[cfg(test)] use ...;` gates a single statement.
+                    pending_cfg_test = false;
+                }
+                _ => {}
+            }
+        }
+
+        // Doc adjacency: attributes between the doc comment and the item
+        // keep it attached; any other code line consumes it.
+        if !is_attr {
+            has_doc = false;
+        }
+    }
+    out
+}
+
+/// Lints one on-disk file, labeling diagnostics with `label`.
+fn lint_file(path: &Path, label: &str, enabled: &[Rule]) -> Result<FileLint, String> {
+    let source =
+        fs::read_to_string(path).map_err(|e| format!("simlint: cannot read {label}: {e}"))?;
+    Ok(lint_source(label, &source, enabled))
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for determinism.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("simlint: cannot read dir {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Relative display path (`/`-separated) of `path` under `root`.
+fn rel_label(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Lints every governed source file in the workspace rooted at `root`.
+///
+/// Scope: `crates/*/src/**/*.rs` (per-crate policy) plus the facade
+/// package's own `src/`. Integration tests, benches, and examples are test
+/// code by construction and are not scanned.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let mut report = Report::default();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("simlint: cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    for crate_dir in crate_dirs {
+        let name = crate_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let enabled = rules_for_crate(&name);
+        if enabled.is_empty() {
+            continue;
+        }
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        for path in files {
+            let label = rel_label(root, &path);
+            let per_file: Vec<Rule> = enabled
+                .iter()
+                .copied()
+                .filter(|&r| !file_exempt(&name, &label, r))
+                .collect();
+            let lint = lint_file(&path, &label, &per_file)?;
+            report.files_scanned += 1;
+            report.suppressed += lint.suppressed;
+            report.diagnostics.extend(lint.diagnostics);
+        }
+    }
+
+    // The facade package's own sources, if any.
+    let facade_src = root.join("src");
+    if facade_src.is_dir() {
+        const FACADE: &[Rule] = &[Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::R1];
+        let mut files = Vec::new();
+        collect_rs_files(&facade_src, &mut files)?;
+        for path in files {
+            let label = rel_label(root, &path);
+            let lint = lint_file(&path, &label, FACADE)?;
+            report.files_scanned += 1;
+            report.suppressed += lint.suppressed;
+            report.diagnostics.extend(lint.diagnostics);
+        }
+    }
+
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_skipped() {
+        let src = "fn lib() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { x.unwrap(); }\n\
+                   }\n";
+        let lint = lint_source("x.rs", src, &[Rule::R1]);
+        assert!(lint.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn violation_after_test_module_still_fires() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() {}\n\
+                   }\n\
+                   fn lib() { x.unwrap(); }\n";
+        let lint = lint_source("x.rs", src, &[Rule::R1]);
+        assert_eq!(lint.diagnostics.len(), 1);
+        assert_eq!(lint.diagnostics[0].line, 5);
+    }
+
+    #[test]
+    fn same_line_suppression() {
+        let src = "fn f() { x.unwrap(); } // simlint::allow(R1): infallible here\n";
+        let lint = lint_source("x.rs", src, &[Rule::R1]);
+        assert!(lint.diagnostics.is_empty());
+        assert_eq!(lint.suppressed, 1);
+    }
+
+    #[test]
+    fn preceding_line_suppression() {
+        let src = "// simlint::allow(D2): ordering handled by explicit sort below\n\
+                   use std::collections::HashMap;\n";
+        let lint = lint_source("x.rs", src, &[Rule::D2]);
+        assert!(lint.diagnostics.is_empty());
+        assert_eq!(lint.suppressed, 1);
+    }
+
+    #[test]
+    fn suppression_does_not_leak_to_later_lines() {
+        let src = "// simlint::allow(R1): first only\n\
+                   fn a() { x.unwrap(); }\n\
+                   fn b() { y.unwrap(); }\n";
+        let lint = lint_source("x.rs", src, &[Rule::R1]);
+        assert_eq!(lint.diagnostics.len(), 1);
+        assert_eq!(lint.diagnostics[0].line, 3);
+    }
+
+    #[test]
+    fn doc1_respects_doc_comments_and_attributes() {
+        let src = "/// Documented.\n\
+                   #[derive(Debug)]\n\
+                   pub struct Ok1;\n\
+                   pub struct Missing;\n";
+        let lint = lint_source("x.rs", src, &[Rule::Doc1]);
+        assert_eq!(lint.diagnostics.len(), 1);
+        assert_eq!(lint.diagnostics[0].line, 4);
+    }
+
+    #[test]
+    fn tokens_inside_strings_do_not_fire() {
+        let src = "fn f() { let s = \"call .unwrap() on a HashMap\"; }\n";
+        let lint = lint_source("x.rs", src, &[Rule::R1, Rule::D2]);
+        assert!(lint.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn policy_exempts_shims() {
+        assert!(rules_for_crate("proptest").is_empty());
+        assert!(rules_for_crate("criterion").is_empty());
+        assert!(rules_for_crate("simlint").is_empty());
+        assert!(rules_for_crate("sim-core").contains(&Rule::Doc1));
+        assert!(!rules_for_crate("thermal").contains(&Rule::Doc1));
+    }
+
+    #[test]
+    fn rng_file_exempt_from_d3_only() {
+        assert!(file_exempt("sim-core", "crates/sim-core/src/rng.rs", Rule::D3));
+        assert!(!file_exempt("sim-core", "crates/sim-core/src/rng.rs", Rule::R1));
+        assert!(!file_exempt("sched", "crates/sched/src/rng.rs", Rule::D3));
+    }
+}

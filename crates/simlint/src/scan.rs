@@ -1,0 +1,317 @@
+//! Line-level source cleaning.
+//!
+//! Rule checks must never match tokens that only appear inside comments,
+//! string literals, or char literals ("call `.unwrap()` here" in a doc
+//! comment is not a violation). [`Cleaner`] walks a file line by line and
+//! splits each into the *code* portion (with literal contents blanked out)
+//! and the *comment* portion (where `simlint::allow(...)` suppressions
+//! live). Block comments, plain strings, and raw strings may span lines, so
+//! the cleaner carries state between calls.
+
+/// The interesting parts of one source line after cleaning.
+#[derive(Debug, Default, Clone)]
+pub struct CleanLine {
+    /// Code with string/char-literal contents removed and comments stripped.
+    pub code: String,
+    /// Concatenated text of every comment on the line.
+    pub comment: String,
+}
+
+/// What multi-line construct, if any, the previous line left open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Carry {
+    /// Plain code.
+    None,
+    /// Inside `/* */` comments nested `depth` levels deep.
+    BlockComment { depth: usize },
+    /// Inside a string literal; raw strings close with `"` followed by
+    /// `hashes` `#` characters (0 for ordinary `"..."` strings).
+    InString { raw: bool, hashes: usize },
+}
+
+/// Stateful comment/string stripper, one instance per file.
+#[derive(Debug)]
+pub struct Cleaner {
+    carry: Carry,
+}
+
+impl Default for Cleaner {
+    fn default() -> Self {
+        Cleaner { carry: Carry::None }
+    }
+}
+
+impl Cleaner {
+    /// Creates a cleaner positioned at the top of a file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cleans one raw source line, updating carry-over state.
+    pub fn clean(&mut self, raw: &str) -> CleanLine {
+        let chars: Vec<char> = raw.chars().collect();
+        let mut out = CleanLine::default();
+        let mut i = 0usize;
+
+        // Resume whatever the previous line left open.
+        match self.carry {
+            Carry::None => {}
+            Carry::BlockComment { mut depth } => {
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else {
+                        out.comment.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                self.carry = if depth > 0 {
+                    Carry::BlockComment { depth }
+                } else {
+                    Carry::None
+                };
+                if matches!(self.carry, Carry::BlockComment { .. }) {
+                    return out;
+                }
+            }
+            Carry::InString { raw: is_raw, hashes } => {
+                match self.scan_string_body(&chars, &mut i, is_raw, hashes) {
+                    true => {
+                        out.code.push('"');
+                        self.carry = Carry::None;
+                    }
+                    false => return out, // string still open
+                }
+            }
+        }
+
+        while i < chars.len() {
+            let c = chars[i];
+            match c {
+                '/' if chars.get(i + 1) == Some(&'/') => {
+                    // Line comment: the rest of the line is comment text.
+                    out.comment.extend(&chars[i + 2..]);
+                    break;
+                }
+                '/' if chars.get(i + 1) == Some(&'*') => {
+                    let mut depth = 1usize;
+                    i += 2;
+                    while i < chars.len() && depth > 0 {
+                        if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                            depth -= 1;
+                            i += 2;
+                        } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                            depth += 1;
+                            i += 2;
+                        } else {
+                            out.comment.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    if depth > 0 {
+                        self.carry = Carry::BlockComment { depth };
+                        return out;
+                    }
+                }
+                '"' => {
+                    out.code.push('"');
+                    i += 1;
+                    if self.scan_string_body(&chars, &mut i, false, 0) {
+                        out.code.push('"');
+                    } else {
+                        self.carry = Carry::InString {
+                            raw: false,
+                            hashes: 0,
+                        };
+                        return out;
+                    }
+                }
+                'r' | 'b' if Self::raw_string_at(&chars, i, &out.code) => {
+                    // `r"..."`, `r#"..."#`, `br"..."`, `b"..."` prefixes.
+                    while i < chars.len() && (chars[i] == 'r' || chars[i] == 'b') {
+                        out.code.push(chars[i]);
+                        i += 1;
+                    }
+                    let mut hashes = 0usize;
+                    while chars.get(i) == Some(&'#') {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    debug_assert_eq!(chars.get(i), Some(&'"'));
+                    out.code.push('"');
+                    i += 1;
+                    if self.scan_string_body(&chars, &mut i, true, hashes) {
+                        out.code.push('"');
+                    } else {
+                        self.carry = Carry::InString { raw: true, hashes };
+                        return out;
+                    }
+                }
+                '\'' => {
+                    // Char literal or lifetime. A lifetime has no closing
+                    // quote within a couple of characters.
+                    if chars.get(i + 1) == Some(&'\\') {
+                        out.code.push('\'');
+                        i += 2; // skip the backslash + first escape char
+                        while i < chars.len() && chars[i] != '\'' {
+                            i += 1;
+                        }
+                        if i < chars.len() {
+                            out.code.push('\'');
+                            i += 1;
+                        }
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        out.code.push('\'');
+                        out.code.push('\'');
+                        i += 3;
+                    } else {
+                        out.code.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    out.code.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// True if position `i` (an `r` or `b`) starts a raw/byte string prefix.
+    fn raw_string_at(chars: &[char], i: usize, code_so_far: &str) -> bool {
+        // Must sit on an identifier boundary: `for` ends in `r` but is not a
+        // raw-string prefix.
+        if code_so_far
+            .chars()
+            .next_back()
+            .is_some_and(|p| p.is_alphanumeric() || p == '_')
+        {
+            return false;
+        }
+        let mut j = i;
+        while matches!(chars.get(j), Some('r') | Some('b')) {
+            j += 1;
+            if j - i > 2 {
+                return false;
+            }
+        }
+        while chars.get(j) == Some(&'#') {
+            j += 1;
+        }
+        j > i && chars.get(j) == Some(&'"')
+    }
+
+    /// Consumes a string body starting at `*i` (just past the opening
+    /// quote). Returns true if the closing quote was found on this line.
+    fn scan_string_body(&self, chars: &[char], i: &mut usize, raw: bool, hashes: usize) -> bool {
+        while *i < chars.len() {
+            let c = chars[*i];
+            if !raw && c == '\\' {
+                *i += 2;
+                continue;
+            }
+            if c == '"' {
+                if raw {
+                    // Need `hashes` trailing '#'s to actually close.
+                    let mut k = 0usize;
+                    while k < hashes && chars.get(*i + 1 + k) == Some(&'#') {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        *i += 1 + hashes;
+                        return true;
+                    }
+                    *i += 1;
+                    continue;
+                }
+                *i += 1;
+                return true;
+            }
+            *i += 1;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_one(src: &str) -> CleanLine {
+        Cleaner::new().clean(src)
+    }
+
+    #[test]
+    fn strips_line_comment() {
+        let l = clean_one("let x = 1; // call .unwrap() here");
+        assert_eq!(l.code.trim_end(), "let x = 1;");
+        assert!(l.comment.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn strips_string_contents() {
+        let l = clean_one("let s = \"HashMap::new()\";");
+        assert!(!l.code.contains("HashMap"));
+        assert!(l.code.contains("\"\""));
+    }
+
+    #[test]
+    fn string_with_escaped_quote() {
+        let l = clean_one("let s = \"a \\\" HashMap b\"; let y = 2;");
+        assert!(!l.code.contains("HashMap"));
+        assert!(l.code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn block_comment_spans_lines() {
+        let mut c = Cleaner::new();
+        let a = c.clean("foo(); /* start .expect(");
+        let b = c.clean("still comment */ bar();");
+        assert_eq!(a.code.trim_end(), "foo();");
+        assert!(a.comment.contains(".expect("));
+        assert!(b.code.contains("bar();"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let mut c = Cleaner::new();
+        c.clean("/* outer /* inner */ still outer");
+        let l = c.clean("done */ code();");
+        assert!(l.code.contains("code();"));
+    }
+
+    #[test]
+    fn raw_string_with_hashes() {
+        let l = clean_one("let s = r#\"panic!(\"x\")\"#; tail();");
+        assert!(!l.code.contains("panic!"));
+        assert!(l.code.contains("tail();"));
+    }
+
+    #[test]
+    fn char_literal_and_lifetime() {
+        let l = clean_one("fn f<'a>(c: char) -> bool { c == '{' }");
+        assert!(!l.code.contains('{') || l.code.matches('{').count() == 1);
+        assert!(l.code.contains("<'a>"));
+    }
+
+    #[test]
+    fn comment_text_carries_suppressions() {
+        let l = clean_one("let t = now(); // simlint::allow(D1): replay clock");
+        assert!(l.comment.contains("simlint::allow(D1)"));
+    }
+
+    #[test]
+    fn multiline_plain_string() {
+        let mut c = Cleaner::new();
+        let a = c.clean("let s = \"first HashMap");
+        let b = c.clean("second .unwrap() line\"; after();");
+        assert!(!a.code.contains("HashMap"));
+        assert!(!b.code.contains(".unwrap()"));
+        assert!(b.code.contains("after();"));
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: idiomatic result-path code; simlint finds nothing.
+
+use std::collections::BTreeMap;
+
+/// Deterministic accumulation in key order.
+pub fn total(m: &BTreeMap<u32, f64>) -> f64 {
+    m.values().sum()
+}
+
+/// Epsilon compare instead of float equality.
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-12
+}

@@ -1,0 +1,11 @@
+//! Fixture: suppression syntax — same-line, preceding-line, and lists.
+
+use std::collections::HashMap; // simlint::allow(D2): ordering sorted downstream
+
+// simlint::allow(R1): slice checked non-empty by the caller
+fn first(v: &[u32]) -> u32 { *v.first().unwrap() }
+
+// simlint::allow(D1, D3): fixture exercises a multi-rule list
+fn seed() { let t = std::time::Instant::now(); let r = rand::thread_rng(); }
+
+fn unsuppressed() { let x = opt.unwrap(); }

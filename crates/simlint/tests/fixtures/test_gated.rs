@@ -1,0 +1,16 @@
+//! Fixture: `#[cfg(test)]` regions are exempt from R1.
+
+fn lib_code() -> u32 { 1 }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        assert_eq!(lib_code(), 1);
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+        panic!("fine in tests");
+    }
+}
+
+fn after() { opt.expect("boom"); }

@@ -1,0 +1,20 @@
+//! Fixture: seeded violations, one per rule, at known lines.
+//! Scanned by the self-tests as text; never compiled.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Undocumented;
+
+/// Documented, so Doc1 stays quiet here.
+pub fn run(map: HashMap<u32, f64>) -> f64 {
+    let start = Instant::now();
+    let mut rng = rand::thread_rng();
+    let x = map.get(&1).unwrap();
+    if *x == 0.5 {
+        panic!("zero");
+    }
+    let narrowed = *x as f32;
+    let _ = (start, rng, narrowed);
+    0.0
+}

@@ -1,0 +1,136 @@
+//! Self-tests: fixture files with seeded violations pin the exact rule IDs
+//! and line numbers simlint reports, and the live workspace must be clean.
+
+use std::path::Path;
+use std::process::Command;
+
+use simlint::{lint_source, lint_workspace, Rule, Severity};
+
+const FULL: &[Rule] = &[Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::R1, Rule::Doc1];
+const LIB: &[Rule] = &[Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::R1];
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => panic!("cannot read fixture {}: {e}", path.display()),
+    }
+}
+
+/// `(line, rule)` pairs of a lint result, in report order.
+fn findings(source: &str, enabled: &[Rule]) -> Vec<(usize, Rule)> {
+    lint_source("fixture.rs", source, enabled)
+        .diagnostics
+        .into_iter()
+        .map(|d| (d.line, d.rule))
+        .collect()
+}
+
+#[test]
+fn violations_fixture_fires_every_rule_at_exact_lines() {
+    let src = fixture("violations.rs");
+    assert_eq!(
+        findings(&src, FULL),
+        vec![
+            (4, Rule::D2),   // use std::collections::HashMap;
+            (5, Rule::D1),   // use std::time::Instant;
+            (7, Rule::Doc1), // pub struct Undocumented;
+            (10, Rule::D2),  // HashMap in the signature
+            (11, Rule::D1),  // Instant::now()
+            (12, Rule::D3),  // rand::thread_rng()
+            (13, Rule::R1),  // .unwrap()
+            (14, Rule::D4),  // *x == 0.5
+            (15, Rule::R1),  // panic!
+            (17, Rule::D4),  // as f32
+        ]
+    );
+}
+
+#[test]
+fn every_rule_is_exercised_by_the_violations_fixture() {
+    let src = fixture("violations.rs");
+    let fired: std::collections::BTreeSet<Rule> =
+        findings(&src, FULL).into_iter().map(|(_, r)| r).collect();
+    for rule in Rule::ALL {
+        assert!(fired.contains(&rule), "rule {rule} never fired");
+    }
+}
+
+#[test]
+fn suppressions_fixture_honors_allows_and_reports_the_rest() {
+    let src = fixture("suppressions.rs");
+    let lint = lint_source("fixture.rs", &src, LIB);
+    // D2@3 (same line), R1@6 (preceding line), D1+D3@9 (comma list).
+    assert_eq!(lint.suppressed, 4);
+    let remaining: Vec<(usize, Rule)> =
+        lint.diagnostics.iter().map(|d| (d.line, d.rule)).collect();
+    assert_eq!(remaining, vec![(11, Rule::R1)]);
+}
+
+#[test]
+fn test_gated_fixture_skips_cfg_test_regions() {
+    let src = fixture("test_gated.rs");
+    assert_eq!(findings(&src, &[Rule::R1]), vec![(16, Rule::R1)]);
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let src = fixture("clean.rs");
+    let lint = lint_source("fixture.rs", &src, FULL);
+    assert!(lint.diagnostics.is_empty(), "{:?}", lint.diagnostics);
+    assert_eq!(lint.suppressed, 0);
+}
+
+#[test]
+fn severity_defaults_and_promotion() {
+    assert_eq!(Rule::D1.default_severity(), Severity::Deny);
+    assert_eq!(Rule::D2.default_severity(), Severity::Deny);
+    assert_eq!(Rule::D3.default_severity(), Severity::Deny);
+    assert_eq!(Rule::D4.default_severity(), Severity::Warn);
+    assert_eq!(Rule::R1.default_severity(), Severity::Warn);
+    assert_eq!(Rule::Doc1.default_severity(), Severity::Warn);
+    for rule in Rule::ALL {
+        assert_eq!(simlint::effective_severity(rule, true), Severity::Deny);
+    }
+}
+
+/// The workspace itself must lint clean — this is the same gate CI runs.
+#[test]
+fn live_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    };
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has simlint findings:\n{:#?}",
+        report.diagnostics
+    );
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    assert!(report.suppressed > 0, "expected justified suppressions");
+}
+
+/// End-to-end: the binary exits 0 on the clean workspace even with
+/// `--deny-warnings`, and prints the one-line summary.
+#[test]
+fn binary_exits_zero_on_clean_workspace() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let output = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .args(["--deny-warnings", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run simlint binary");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(output.status.success(), "simlint failed:\n{stdout}");
+    assert!(
+        stdout.contains("files scanned") && stdout.contains("0 violations"),
+        "missing summary line:\n{stdout}"
+    );
+}

@@ -362,11 +362,35 @@ impl ThermalNetwork {
         if dt.is_zero() {
             return;
         }
+        // Each substep moves every node toward an equilibrium that is at
+        // least the coldest of (ambient, its neighbours), so the network
+        // minimum can never drop below min(pre-step minimum, ambient) —
+        // modulo float rounding, hence the tolerance. The pre-step minimum
+        // matters because set_temperature may legitimately start a node
+        // below ambient.
+        let floor = if cfg!(feature = "invariants") {
+            self.temperatures
+                .iter()
+                .copied()
+                .fold(self.ambient_celsius, f64::min)
+                - 1e-6
+        } else {
+            f64::NEG_INFINITY
+        };
         let mut remaining = dt;
         while !remaining.is_zero() {
             let step = remaining.min(self.max_substep);
             self.substep(step.as_secs_f64());
             remaining = remaining.saturating_sub(step);
+        }
+        if cfg!(feature = "invariants") {
+            for (i, &t) in self.temperatures.iter().enumerate() {
+                assert!(
+                    t.is_finite() && t >= floor,
+                    "thermal invariant violated: node {i} at {t} °C \
+                     (finite, >= {floor} °C expected)"
+                );
+            }
         }
     }
 
@@ -399,6 +423,15 @@ impl ThermalNetwork {
         }
     }
 
+    /// Total power currently injected across all nodes, in watts.
+    ///
+    /// Lets callers audit energy conservation: whatever a machine model
+    /// splits across hotspot/die/package nodes must sum back to the power
+    /// it drew.
+    pub fn total_power(&self) -> f64 {
+        self.powers.iter().sum()
+    }
+
     /// The steady-state temperatures under the currently set powers,
     /// computed directly from the conductance matrix (no time stepping).
     ///
@@ -422,6 +455,9 @@ impl ThermalNetwork {
         }
         matrix
             .solve(&rhs)
+            // simlint::allow(R1): documented panic — the builder grounds
+            // every node to ambient, making the matrix diagonally dominant
+            // and therefore non-singular.
             .expect("grounded thermal network has a non-singular conductance matrix")
     }
 
@@ -505,6 +541,24 @@ impl ThermalNetwork {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// Under the `invariants` feature, advance() checks its physical
+    /// envelope (finite temperatures, no dips below the pre-step floor)
+    /// on every call; heat-up and cool-down paths both cross it.
+    #[cfg(feature = "invariants")]
+    #[test]
+    fn envelope_check_passes_through_transients() {
+        let (mut net, die) = single_node();
+        net.set_power(die, 40.0);
+        for _ in 0..200 {
+            net.advance(SimDuration::from_millis(500));
+        }
+        net.set_power(die, 0.0);
+        for _ in 0..200 {
+            net.advance(SimDuration::from_millis(500));
+        }
+        assert!((net.temperature(die) - 25.0).abs() < 0.5);
+    }
 
     /// die(1 J/K) --0.5 W/K-- ambient, a pure single-pole system.
     fn single_node() -> (ThermalNetwork, NodeId) {

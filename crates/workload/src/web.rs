@@ -144,7 +144,7 @@ impl QosStats {
             return None;
         }
         let mut sorted = self.latencies.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+        sorted.sort_by(f64::total_cmp);
         let idx = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
         Some(sorted[idx])
     }
