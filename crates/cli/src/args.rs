@@ -78,6 +78,15 @@ pub struct Options {
     pub trace: Option<usize>,
     /// Path of the profile file for `--workload profile` / `--profile`.
     pub profile_path: Option<String>,
+    /// Path of a fault-plan file (`at <t>s <target> <fault> ...` lines)
+    /// injected into the telemetry/scheduler path.
+    pub faults_path: Option<String>,
+    /// Gaussian sensor-noise sigma (°C) applied to every telemetry read;
+    /// implies degraded (DTS-style) telemetry for closed-loop runs.
+    pub sensor_noise: Option<f64>,
+    /// Critical hotspot temperature (°C) arming the reactive thermal
+    /// trip.
+    pub trip: Option<f64>,
     /// Simulation seed.
     pub seed: u64,
     /// Worker threads for sweep-shaped runs; `None` means one per
@@ -99,6 +108,9 @@ impl Default for Options {
             placement: false,
             trace: None,
             profile_path: None,
+            faults_path: None,
+            sensor_noise: None,
+            trip: None,
             seed: 42,
             jobs: None,
         }
@@ -166,6 +178,14 @@ OPTIONS:
     --smt              enable SMT (co-scheduled idle quanta)
     --placement        thermal-aware wake placement
     --trace <n>        print the last n scheduling decisions
+    --faults <file>    inject a fault plan (`at <t>s <core N|all> <fault> ...`
+                       lines: stuck <C> | dropout | noise <sigma> |
+                       drop-hooks <p> | drop-ticks | wakeup-jitter <span>,
+                       optionally `for <span>`)
+    --sensor-noise <C> gaussian sigma on telemetry reads (implies degraded
+                       DTS telemetry for --setpoint runs)
+    --trip <C>         arm the reactive thermal trip at this hotspot
+                       temperature
     --seed <n>         simulation seed                    [default: 42]
     --jobs <n>         worker threads for sweep runs      [default: all cores]
     --help             print this text
@@ -289,6 +309,41 @@ impl Options {
                 "--profile" => {
                     options.profile_path = Some(value_for("--profile")?);
                     options.workload = WorkloadChoice::Profile;
+                }
+                "--faults" => {
+                    options.faults_path = Some(value_for("--faults")?);
+                }
+                "--sensor-noise" => {
+                    let raw = value_for("--sensor-noise")?;
+                    let sigma: f64 = raw.parse().map_err(|_| ParseArgsError::BadValue {
+                        flag: "--sensor-noise",
+                        value: raw.clone(),
+                        expected: "a non-negative sigma in celsius",
+                    })?;
+                    if !(sigma >= 0.0 && sigma.is_finite()) {
+                        return Err(ParseArgsError::BadValue {
+                            flag: "--sensor-noise",
+                            value: raw,
+                            expected: "a non-negative sigma in celsius",
+                        });
+                    }
+                    options.sensor_noise = Some(sigma);
+                }
+                "--trip" => {
+                    let raw = value_for("--trip")?;
+                    let c: f64 = raw.parse().map_err(|_| ParseArgsError::BadValue {
+                        flag: "--trip",
+                        value: raw.clone(),
+                        expected: "a finite temperature in celsius",
+                    })?;
+                    if !c.is_finite() {
+                        return Err(ParseArgsError::BadValue {
+                            flag: "--trip",
+                            value: raw,
+                            expected: "a finite temperature in celsius",
+                        });
+                    }
+                    options.trip = Some(c);
                 }
                 "--seed" => {
                     let raw = value_for("--seed")?;
@@ -415,6 +470,30 @@ mod tests {
     fn setpoint_parses() {
         let o = Options::parse(["--setpoint", "45.5"]).unwrap();
         assert_eq!(o.setpoint, Some(45.5));
+    }
+
+    #[test]
+    fn fault_flags_parse_and_validate() {
+        let o = Options::parse([
+            "--faults", "plan.txt", "--sensor-noise", "1.5", "--trip", "70",
+        ])
+        .unwrap();
+        assert_eq!(o.faults_path.as_deref(), Some("plan.txt"));
+        assert_eq!(o.sensor_noise, Some(1.5));
+        assert_eq!(o.trip, Some(70.0));
+        assert!(matches!(
+            Options::parse(["--sensor-noise", "-1"]),
+            Err(ParseArgsError::BadValue { flag: "--sensor-noise", .. })
+        ));
+        assert!(matches!(
+            Options::parse(["--sensor-noise", "inf"]),
+            Err(ParseArgsError::BadValue { flag: "--sensor-noise", .. })
+        ));
+        assert!(matches!(
+            Options::parse(["--trip", "nan"]),
+            Err(ParseArgsError::BadValue { flag: "--trip", .. })
+        ));
+        assert!(USAGE.contains("--faults") && USAGE.contains("--trip"));
     }
 
     #[test]

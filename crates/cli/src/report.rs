@@ -2,10 +2,11 @@
 
 use dimetrodon::{
     DimetrodonHook, InjectionModel, InjectionParams, PolicyHandle, SetpointController,
-    SmtCoScheduler,
+    SmtCoScheduler, TelemetryFilter,
 };
 use dimetrodon_analysis::Table;
-use dimetrodon_machine::{CoreId, Machine, MachineConfig, MachineError};
+use dimetrodon_faults::{FaultPlan, FaultyHook, FaultyTelemetry, SensorSpec};
+use dimetrodon_machine::{CoreId, Machine, MachineConfig, MachineError, ThermalTrip};
 use dimetrodon_sched::{
     BsdScheduler, SchedConfig, SchedHook, Scheduler, System, ThreadId, ThreadKind, UleScheduler,
 };
@@ -37,6 +38,11 @@ pub struct Report {
     pub package_power: f64,
     /// Total energy drawn, J.
     pub energy_joules: f64,
+    /// Times the reactive thermal trip latched (`--trip` runs).
+    pub trips: u64,
+    /// Telemetry reads lost to sensor faults (`--faults`/`--sensor-noise`
+    /// runs).
+    pub dropped_reads: u64,
     /// Web QoS statistics, when the web workload ran.
     pub qos: Option<dimetrodon_workload::QosStats>,
     /// Cool-process completed cycles, when the mix ran.
@@ -53,6 +59,8 @@ pub enum ScenarioError {
     /// `--workload profile` was selected without a readable, valid
     /// profile.
     Profile(String),
+    /// `--faults` was passed without a readable, valid fault plan.
+    Faults(String),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -60,6 +68,7 @@ impl std::fmt::Display for ScenarioError {
         match self {
             ScenarioError::Machine(e) => write!(f, "{e}"),
             ScenarioError::Profile(reason) => write!(f, "profile: {reason}"),
+            ScenarioError::Faults(reason) => write!(f, "faults: {reason}"),
         }
     }
 }
@@ -80,11 +89,14 @@ impl From<MachineError> for ScenarioError {
 /// (not reachable through the CLI's own flags) or the profile file is
 /// missing or malformed.
 pub fn run_scenario(options: &Options) -> Result<Report, ScenarioError> {
-    let machine_config = if options.smt {
+    let mut machine_config = if options.smt {
         MachineConfig::xeon_e5520_smt()
     } else {
         MachineConfig::xeon_e5520()
     };
+    if let Some(critical) = options.trip {
+        machine_config.thermal_trip = Some(ThermalTrip::prochot_at(critical));
+    }
     let mut machine = Machine::new(machine_config)?;
     machine.settle_idle();
     let idle_temp = machine.idle_temperature();
@@ -110,16 +122,48 @@ pub fn run_scenario(options: &Options) -> Result<Report, ScenarioError> {
     } else {
         InjectionModel::Probabilistic
     };
+    let plan = match options.faults_path.as_deref() {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ScenarioError::Faults(format!("read {path}: {e}")))?;
+            text.parse::<FaultPlan>()
+                .map_err(|e| ScenarioError::Faults(format!("{path}: {e}")))?
+        }
+        None => FaultPlan::new(),
+    };
+    let faults_requested = options.faults_path.is_some() || options.sensor_noise.is_some();
+
     let base_hook = DimetrodonHook::with_model(policy.clone(), model, options.seed);
-    let hook: Box<dyn SchedHook> = match (options.setpoint, options.smt) {
-        (Some(setpoint), _) => Box::new(SetpointController::new(
-            base_hook,
-            setpoint,
-            options.quantum,
-        )),
+    let mut hook: Box<dyn SchedHook> = match (options.setpoint, options.smt) {
+        (Some(setpoint), _) => {
+            let mut controller =
+                SetpointController::new(base_hook, setpoint, options.quantum);
+            if faults_requested {
+                // Degraded telemetry: per-core DTS reads (noisy,
+                // droppable) instead of the exact die mean, conditioned
+                // by the hardened filter.
+                let spec = SensorSpec {
+                    noise_sigma: options
+                        .sensor_noise
+                        .unwrap_or(SensorSpec::dts().noise_sigma),
+                    ..SensorSpec::dts()
+                };
+                controller = controller
+                    .with_telemetry(Box::new(FaultyTelemetry::new(
+                        spec,
+                        plan.clone(),
+                        options.seed ^ 0x5E45,
+                    )))
+                    .with_filter(TelemetryFilter::hardened());
+            }
+            Box::new(controller)
+        }
         (None, true) => Box::new(SmtCoScheduler::new(base_hook)),
         (None, false) => Box::new(base_hook),
     };
+    if plan.has_scheduler_faults() {
+        hook = Box::new(FaultyHook::new(hook, plan, options.seed ^ 0xFA17));
+    }
 
     let mut system = System::with_parts(machine, scheduler, hook, sched_config);
     if let Some(capacity) = options.trace {
@@ -195,12 +239,31 @@ pub fn run_scenario(options: &Options) -> Result<Report, ScenarioError> {
         observed_temp,
         physical_temp,
         cpu_executed,
+        trips: system.machine().trip_count(),
+        dropped_reads: telemetry_losses(system.hook()),
         injected_idles: system.total_injected_idles(),
         package_power: system.machine().package_power(),
         energy_joules: system.machine().energy().joules(),
         qos: qos.map(|h| h.snapshot()),
         cool_cycles: cool.map(|c| c.completed()),
     })
+}
+
+/// Telemetry reads lost by the installed controller, if one is present
+/// (directly or behind a [`FaultyHook`] wrapper).
+fn telemetry_losses(hook: &dyn SchedHook) -> u64 {
+    let Some(any) = hook.as_any() else { return 0 };
+    if let Some(controller) = any.downcast_ref::<SetpointController>() {
+        return controller.telemetry().dropped_reads();
+    }
+    if let Some(faulty) = any.downcast_ref::<FaultyHook>() {
+        return faulty
+            .inner()
+            .as_any()
+            .and_then(|inner| inner.downcast_ref::<SetpointController>())
+            .map_or(0, |controller| controller.telemetry().dropped_reads());
+    }
+    0
 }
 
 impl Report {
@@ -228,6 +291,12 @@ impl Report {
         row("idle quanta injected", format!("{}", self.injected_idles));
         row("package power (final)", format!("{:.1} W", self.package_power));
         row("energy", format!("{:.0} J", self.energy_joules));
+        if self.options.trip.is_some() {
+            row("thermal trips", format!("{}", self.trips));
+        }
+        if self.options.faults_path.is_some() || self.options.sensor_noise.is_some() {
+            row("sensor reads dropped", format!("{}", self.dropped_reads));
+        }
         let mut out = table.render();
         if let Some(qos) = &self.qos {
             out.push_str(&format!(
@@ -333,6 +402,52 @@ mod tests {
         assert!(report.cpu_executed > 5.0, "replay should burn CPU");
         let dump = report.trace_dump.as_ref().expect("trace requested");
         assert!(dump.contains("dispatch"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn faulty_setpoint_scenario_reports_losses_and_trips() {
+        let dir = std::env::temp_dir().join("dimetrodon_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("burst.faults");
+        std::fs::write(&path, "at 5s all dropout for 10s\nat 5s all drop-hooks 0.2 for 10s\n")
+            .unwrap();
+        let mut options = quick_options(WorkloadChoice::CpuBurn);
+        options.duration = SimDuration::from_secs(120);
+        options.setpoint = Some(45.0);
+        options.sensor_noise = Some(1.0);
+        options.trip = Some(51.0);
+        options.faults_path = Some(path.to_string_lossy().into_owned());
+        let report = run_scenario(&options).unwrap();
+        assert!(report.dropped_reads > 0, "dropout window must lose reads");
+        let text = report.render();
+        assert!(text.contains("thermal trips"));
+        assert!(text.contains("sensor reads dropped"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trip_alone_is_reported_and_clean_runs_never_trip() {
+        let mut options = quick_options(WorkloadChoice::CpuBurn);
+        options.trip = Some(90.0); // far above anything the platform reaches
+        let report = run_scenario(&options).unwrap();
+        assert_eq!(report.trips, 0);
+        assert!(report.render().contains("thermal trips"));
+    }
+
+    #[test]
+    fn bad_fault_plans_error_cleanly() {
+        let mut options = quick_options(WorkloadChoice::CpuBurn);
+        options.faults_path = Some("/definitely/not/here.faults".into());
+        assert!(matches!(run_scenario(&options), Err(ScenarioError::Faults(_))));
+
+        let dir = std::env::temp_dir().join("dimetrodon_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.faults");
+        std::fs::write(&path, "at 5s all explode\n").unwrap();
+        let mut options = quick_options(WorkloadChoice::CpuBurn);
+        options.faults_path = Some(path.to_string_lossy().into_owned());
+        assert!(matches!(run_scenario(&options), Err(ScenarioError::Faults(_))));
         let _ = std::fs::remove_file(&path);
     }
 

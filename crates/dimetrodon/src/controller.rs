@@ -10,11 +10,26 @@
 //! The controller is a clamped integral controller on `p`: steady-state
 //! error-free for constant loads, and intrinsically bounded because `p`
 //! lives in `[0, p_max]`.
+//!
+//! # Degradation awareness
+//!
+//! Temperature flows in through a [`Telemetry`] source (exact passthrough
+//! by default) and a [`TelemetryFilter`] (transparent by default). Under
+//! the default configuration the behaviour is bit-identical to the
+//! original raw-reading controller; a hardened configuration
+//! ([`TelemetryFilter::hardened`] plus a
+//! [`FaultyTelemetry`](dimetrodon_faults::FaultyTelemetry) source)
+//! median-filters readings, freezes the integrator on non-finite or
+//! outlier samples, and on sustained telemetry loss falls back from
+//! preventive injection to the machine's reactive thermal trip by
+//! commanding `p = 0`.
 
+use dimetrodon_faults::{IdealTelemetry, Telemetry};
 use dimetrodon_machine::Machine;
 use dimetrodon_sched::{Decision, SchedHook, ScheduleContext};
-use dimetrodon_sim_core::{SimDuration, SimTime};
+use dimetrodon_sim_core::{sim_invariant, SimDuration, SimTime};
 
+use crate::harden::{Signal, TelemetryFilter};
 use crate::hook::DimetrodonHook;
 use crate::policy::InjectionParams;
 
@@ -45,6 +60,10 @@ pub struct SetpointController {
     gain: f64,
     p_max: f64,
     p: f64,
+    telemetry: Box<dyn Telemetry>,
+    filter: TelemetryFilter,
+    /// Ticks spent in the lost-telemetry fallback.
+    fallback_ticks: u64,
 }
 
 impl SetpointController {
@@ -69,6 +88,9 @@ impl SetpointController {
             gain: Self::DEFAULT_GAIN,
             p_max: Self::DEFAULT_P_MAX,
             p: 0.0,
+            telemetry: Box::new(IdealTelemetry),
+            filter: TelemetryFilter::passthrough(),
+            fallback_ticks: 0,
         }
     }
 
@@ -80,6 +102,35 @@ impl SetpointController {
     pub fn with_gain(mut self, gain: f64) -> Self {
         assert!(gain > 0.0 && gain.is_finite(), "gain must be positive");
         self.gain = gain;
+        self
+    }
+
+    /// Overrides the upper bound on the controlled probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_max` is outside `(0, 1)`.
+    pub fn with_p_max(mut self, p_max: f64) -> Self {
+        assert!(
+            p_max.is_finite() && p_max > 0.0 && p_max < 1.0,
+            "p_max must be in (0, 1), got {p_max}"
+        );
+        self.p_max = p_max;
+        self
+    }
+
+    /// Replaces the telemetry source the controller reads temperature
+    /// through (default: exact passthrough).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Box<dyn Telemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the telemetry conditioning filter (default: transparent).
+    #[must_use]
+    pub fn with_filter(mut self, filter: TelemetryFilter) -> Self {
+        self.filter = filter;
         self
     }
 
@@ -97,6 +148,22 @@ impl SetpointController {
     pub fn hook(&self) -> &DimetrodonHook {
         &self.inner
     }
+
+    /// The telemetry conditioning filter (for its counters).
+    pub fn filter(&self) -> &TelemetryFilter {
+        &self.filter
+    }
+
+    /// Ticks spent with telemetry lost, preventive injection ceded to
+    /// the reactive trip.
+    pub fn fallback_ticks(&self) -> u64 {
+        self.fallback_ticks
+    }
+
+    /// The telemetry source (for its loss counters).
+    pub fn telemetry(&self) -> &dyn Telemetry {
+        self.telemetry.as_ref()
+    }
 }
 
 impl SchedHook for SetpointController {
@@ -105,8 +172,30 @@ impl SchedHook for SetpointController {
     }
 
     fn on_tick(&mut self, now: SimTime, machine: &Machine) {
-        let error = machine.mean_core_temperature() - self.setpoint_celsius;
-        self.p = (self.p + self.gain * error).clamp(0.0, self.p_max);
+        let raw = self.telemetry.mean_core_temperature(machine, now);
+        match self.filter.ingest(raw) {
+            Signal::Reading(temperature) => {
+                let error = temperature - self.setpoint_celsius;
+                // The integrator *is* `p`; the clamp is its anti-windup
+                // bound — without it an unreachable setpoint would
+                // integrate without limit.
+                self.p = (self.p + self.gain * error).clamp(0.0, self.p_max);
+            }
+            // Anti-windup freeze: a bad sample moves nothing.
+            Signal::Hold => {}
+            Signal::Lost => {
+                // Telemetry is gone: stop flying blind. Cease preventive
+                // injection and leave thermal protection to the machine's
+                // reactive trip.
+                self.p = 0.0;
+                self.fallback_ticks += 1;
+            }
+        }
+        sim_invariant!(
+            self.p.is_finite() && (0.0..=self.p_max).contains(&self.p),
+            "injection probability left [0, p_max]: {}",
+            self.p
+        );
         let params = if self.p > 0.0 {
             Some(InjectionParams::new(self.p, self.quantum))
         } else {
@@ -114,6 +203,10 @@ impl SchedHook for SetpointController {
         };
         self.inner.policy().set_global(params);
         self.inner.on_tick(now, machine);
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 
@@ -172,6 +265,150 @@ mod tests {
         system.run_until(SimTime::from_secs(120));
         let p = policy.global().expect("policy active").p();
         assert!((SetpointController::DEFAULT_P_MAX - p).abs() < 1e-9, "p {p}");
+    }
+
+    /// Telemetry stub that reports `hot` for the first `flip_at` ticks
+    /// and `cold` after — lets the wind-up test flip the error sign
+    /// without waiting on thermal physics.
+    #[derive(Debug)]
+    struct ScriptedTelemetry {
+        hot: f64,
+        cold: f64,
+        flip_at: u64,
+        ticks: u64,
+    }
+
+    impl dimetrodon_faults::Telemetry for ScriptedTelemetry {
+        fn mean_core_temperature(&mut self, _machine: &Machine, _now: SimTime) -> f64 {
+            self.ticks += 1;
+            if self.ticks <= self.flip_at {
+                self.hot
+            } else {
+                self.cold
+            }
+        }
+
+        fn package_power(&mut self, machine: &Machine, _now: SimTime) -> f64 {
+            machine.package_power()
+        }
+    }
+
+    #[test]
+    fn integrator_does_not_wind_up_past_the_clamp() {
+        // Regression: with the setpoint unreachable for a long stretch,
+        // the integral term must saturate at p_max (not accumulate
+        // beyond it), so recovery starts the moment the error flips.
+        let mut m = Machine::new(MachineConfig::xeon_e5520()).unwrap();
+        m.settle_idle();
+        let policy = PolicyHandle::new();
+        let hook = DimetrodonHook::new(policy.clone(), 3);
+        // 90 °C reported against a 45 °C setpoint for 500 ticks, then a
+        // sudden drop to 40 °C.
+        let mut controller = SetpointController::new(hook, 45.0, SimDuration::from_millis(25))
+            .with_telemetry(Box::new(ScriptedTelemetry {
+                hot: 90.0,
+                cold: 40.0,
+                flip_at: 500,
+                ticks: 0,
+            }));
+        for s in 0..500u64 {
+            controller.on_tick(SimTime::from_secs(s), &m);
+        }
+        let p_after_windup = controller.current_p();
+        assert!(
+            (p_after_windup - SetpointController::DEFAULT_P_MAX).abs() < 1e-12,
+            "p must sit exactly at the clamp, got {p_after_windup}"
+        );
+        // Error is now -5 °C; gain 0.02 → Δp = -0.1 per tick. A clamped
+        // integrator recovers from 0.9 to 0 in 9 ticks; a wound-up one
+        // would take hundreds.
+        let mut ticks_to_release = 0;
+        for s in 500..600u64 {
+            controller.on_tick(SimTime::from_secs(s), &m);
+            ticks_to_release += 1;
+            if controller.current_p() == 0.0 {
+                break;
+            }
+        }
+        assert!(
+            ticks_to_release <= 12,
+            "recovery took {ticks_to_release} ticks — integral wind-up"
+        );
+        assert_eq!(policy.global(), None);
+    }
+
+    #[test]
+    fn holds_integrator_during_dropout_and_falls_back_when_lost() {
+        use crate::harden::TelemetryFilter;
+        use dimetrodon_faults::{FaultKind, FaultPlan, FaultTarget, FaultyTelemetry, SensorSpec};
+
+        let mut m = Machine::new(MachineConfig::xeon_e5520()).unwrap();
+        m.settle_idle();
+        // Plan: all sensors drop out permanently from t = 50 s.
+        let plan = FaultPlan::new().with(
+            SimTime::from_secs(50),
+            FaultTarget::All,
+            FaultKind::Dropout,
+            None,
+        );
+        let telemetry = FaultyTelemetry::new(SensorSpec::ideal(), plan, 99);
+        let policy = PolicyHandle::new();
+        let hook = DimetrodonHook::new(policy.clone(), 3);
+        let mut controller = SetpointController::new(hook, 10.0, SimDuration::from_millis(25))
+            .with_telemetry(Box::new(telemetry))
+            .with_filter(TelemetryFilter::hardened());
+        // Unreachable setpoint saturates p before the fault hits.
+        for s in 0..50u64 {
+            controller.on_tick(SimTime::from_secs(s), &m);
+        }
+        assert!(controller.current_p() > 0.8);
+        // First bad samples: anti-windup freeze (p unchanged)...
+        let frozen = controller.current_p();
+        for s in 50..54u64 {
+            controller.on_tick(SimTime::from_secs(s), &m);
+            assert_eq!(controller.current_p(), frozen, "freeze during short dropout");
+        }
+        // ...then, past the dropout limit, fallback: p = 0, policy off.
+        for s in 54..60u64 {
+            controller.on_tick(SimTime::from_secs(s), &m);
+        }
+        assert_eq!(controller.current_p(), 0.0, "lost telemetry must cede to the trip");
+        assert_eq!(policy.global(), None);
+        assert!(controller.fallback_ticks() > 0);
+        assert!(controller.filter().dropped_samples() > 0);
+    }
+
+    #[test]
+    fn default_hardening_is_bit_identical_to_the_raw_path() {
+        // The zero-fault guarantee at controller granularity: a default
+        // (passthrough) controller must command exactly the same p
+        // sequence as the pre-fault-layer arithmetic.
+        let mut m = Machine::new(MachineConfig::xeon_e5520()).unwrap();
+        m.settle_idle();
+        let policy = PolicyHandle::new();
+        let hook = DimetrodonHook::new(policy.clone(), 3);
+        let mut controller =
+            SetpointController::new(hook, 28.0, SimDuration::from_millis(25));
+        let mut expected_p: f64 = 0.0;
+        for s in 0..40u64 {
+            controller.on_tick(SimTime::from_secs(s), &m);
+            let error = m.mean_core_temperature() - 28.0;
+            expected_p = (expected_p + SetpointController::DEFAULT_GAIN * error)
+                .clamp(0.0, SetpointController::DEFAULT_P_MAX);
+            assert_eq!(
+                controller.current_p().to_bits(),
+                expected_p.to_bits(),
+                "tick {s} diverged from the raw arithmetic"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p_max must be in (0, 1)")]
+    fn bad_p_max_panics() {
+        let hook = DimetrodonHook::new(PolicyHandle::new(), 0);
+        let _ = SetpointController::new(hook, 45.0, SimDuration::from_millis(25))
+            .with_p_max(f64::NAN);
     }
 
     #[test]

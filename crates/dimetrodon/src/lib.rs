@@ -21,7 +21,10 @@
 //!   defaults, per-thread overrides, kernel-thread exemption;
 //! * [`model`] — the §2.2 analytic throughput and energy models;
 //! * [`SetpointController`] — a beyond-the-paper closed-loop mode that
-//!   adapts `p` online to hold a temperature setpoint;
+//!   adapts `p` online to hold a temperature setpoint, reading through a
+//!   pluggable telemetry source and a degradation-aware
+//!   [`TelemetryFilter`] (median filtering, outlier rejection,
+//!   anti-windup freeze, fallback to the reactive trip);
 //! * [`SmtCoScheduler`] — §3.2's sketched SMT support: co-schedules idle
 //!   quanta across sibling hardware threads so the physical core reaches
 //!   C1E.
@@ -55,6 +58,7 @@
 #![warn(missing_debug_implementations)]
 
 mod controller;
+mod harden;
 mod hook;
 /// The paper's analytic delay model `D(t) = R + S·p/(1−p)·L` and its
 /// calibration helpers.
@@ -65,6 +69,7 @@ mod powercap;
 mod smt;
 
 pub use controller::SetpointController;
+pub use harden::{Signal, TelemetryFilter};
 pub use hook::DimetrodonHook;
 pub use policy::{InjectionModel, InjectionParams, PolicyHandle, PolicyTable};
 pub use planner::{PlanError, PolicyPlanner, PowerLawTradeoff};

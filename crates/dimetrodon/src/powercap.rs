@@ -10,10 +10,12 @@
 //! out at different quantum lengths (the `power_cap` section of the
 //! `ablations` binary does exactly that).
 
+use dimetrodon_faults::{IdealTelemetry, Telemetry};
 use dimetrodon_machine::Machine;
 use dimetrodon_sched::{Decision, SchedHook, ScheduleContext};
-use dimetrodon_sim_core::{SimDuration, SimTime};
+use dimetrodon_sim_core::{sim_invariant, SimDuration, SimTime};
 
+use crate::harden::{Signal, TelemetryFilter};
 use crate::hook::DimetrodonHook;
 use crate::policy::InjectionParams;
 
@@ -39,6 +41,10 @@ pub struct PowerCapController {
     gain: f64,
     p_max: f64,
     p: f64,
+    telemetry: Box<dyn Telemetry>,
+    filter: TelemetryFilter,
+    /// Ticks spent in the lost-telemetry fallback.
+    fallback_ticks: u64,
 }
 
 impl PowerCapController {
@@ -67,6 +73,9 @@ impl PowerCapController {
             gain: Self::DEFAULT_GAIN,
             p_max: Self::DEFAULT_P_MAX,
             p: 0.0,
+            telemetry: Box::new(IdealTelemetry),
+            filter: TelemetryFilter::passthrough(),
+            fallback_ticks: 0,
         }
     }
 
@@ -79,6 +88,50 @@ impl PowerCapController {
         assert!(gain > 0.0 && gain.is_finite(), "gain must be positive");
         self.gain = gain;
         self
+    }
+
+    /// Overrides the upper bound on the controlled probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_max` is outside `(0, 1)`.
+    pub fn with_p_max(mut self, p_max: f64) -> Self {
+        assert!(
+            p_max.is_finite() && p_max > 0.0 && p_max < 1.0,
+            "p_max must be in (0, 1), got {p_max}"
+        );
+        self.p_max = p_max;
+        self
+    }
+
+    /// Replaces the telemetry source the controller reads power through
+    /// (default: exact passthrough).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Box<dyn Telemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the telemetry conditioning filter (default: transparent).
+    #[must_use]
+    pub fn with_filter(mut self, filter: TelemetryFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// The telemetry conditioning filter (for its counters).
+    pub fn filter(&self) -> &TelemetryFilter {
+        &self.filter
+    }
+
+    /// Ticks spent with telemetry lost, capping suspended.
+    pub fn fallback_ticks(&self) -> u64 {
+        self.fallback_ticks
+    }
+
+    /// The telemetry source (for its loss counters).
+    pub fn telemetry(&self) -> &dyn Telemetry {
+        self.telemetry.as_ref()
     }
 
     /// The configured power cap, W.
@@ -103,8 +156,29 @@ impl SchedHook for PowerCapController {
     }
 
     fn on_tick(&mut self, now: SimTime, machine: &Machine) {
-        let excess = machine.package_power() - self.cap_watts;
-        self.p = (self.p + self.gain * excess).clamp(0.0, self.p_max);
+        let raw = self.telemetry.package_power(machine, now);
+        match self.filter.ingest(raw) {
+            Signal::Reading(power) => {
+                let excess = power - self.cap_watts;
+                // The integrator *is* `p`; the clamp is its anti-windup
+                // bound for unreachable caps.
+                self.p = (self.p + self.gain * excess).clamp(0.0, self.p_max);
+            }
+            // Anti-windup freeze: a bad sample moves nothing.
+            Signal::Hold => {}
+            Signal::Lost => {
+                // The power meter is gone; stop capping blind. (Thermal
+                // protection, if configured, stays with the machine's
+                // reactive trip.)
+                self.p = 0.0;
+                self.fallback_ticks += 1;
+            }
+        }
+        sim_invariant!(
+            self.p.is_finite() && (0.0..=self.p_max).contains(&self.p),
+            "injection probability left [0, p_max]: {}",
+            self.p
+        );
         let params = if self.p > 0.0 {
             Some(InjectionParams::new(self.p, self.quantum))
         } else {
@@ -112,6 +186,10 @@ impl SchedHook for PowerCapController {
         };
         self.inner.policy().set_global(params);
         self.inner.on_tick(now, machine);
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 
@@ -189,6 +267,53 @@ mod tests {
             short < long - 0.5,
             "short quanta should be thermally beneficial: {short} vs {long}"
         );
+    }
+
+    #[test]
+    fn integrator_saturates_at_p_max_for_unreachable_caps() {
+        // Regression: a 1 W cap can never be met (idle floor ≈ 12 W);
+        // p must saturate exactly at the clamp, never beyond.
+        let mut m = Machine::new(MachineConfig::xeon_e5520()).unwrap();
+        m.settle_idle();
+        let policy = PolicyHandle::new();
+        let hook = DimetrodonHook::new(policy.clone(), 5);
+        let mut controller =
+            PowerCapController::new(hook, 1.0, SimDuration::from_millis(10));
+        for s in 0..400u64 {
+            controller.on_tick(SimTime::from_secs(s), &m);
+            let p = controller.current_p();
+            assert!(p.is_finite() && p <= PowerCapController::DEFAULT_P_MAX);
+        }
+        assert!(
+            (controller.current_p() - PowerCapController::DEFAULT_P_MAX).abs() < 1e-12,
+            "p must sit exactly at the clamp"
+        );
+    }
+
+    #[test]
+    fn lost_power_meter_suspends_capping() {
+        use crate::harden::TelemetryFilter;
+        use dimetrodon_faults::{FaultKind, FaultPlan, FaultTarget, FaultyTelemetry, SensorSpec};
+
+        let mut m = Machine::new(MachineConfig::xeon_e5520()).unwrap();
+        m.settle_idle();
+        let plan = FaultPlan::new().with(
+            SimTime::from_secs(20),
+            FaultTarget::All,
+            FaultKind::Dropout,
+            None,
+        );
+        let policy = PolicyHandle::new();
+        let hook = DimetrodonHook::new(policy.clone(), 5);
+        let mut controller = PowerCapController::new(hook, 1.0, SimDuration::from_millis(10))
+            .with_telemetry(Box::new(FaultyTelemetry::new(SensorSpec::ideal(), plan, 13)))
+            .with_filter(TelemetryFilter::hardened());
+        for s in 0..40u64 {
+            controller.on_tick(SimTime::from_secs(s), &m);
+        }
+        assert_eq!(controller.current_p(), 0.0, "capping must stop when the meter is lost");
+        assert_eq!(policy.global(), None);
+        assert!(controller.fallback_ticks() > 0);
     }
 
     #[test]

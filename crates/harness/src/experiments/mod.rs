@@ -11,6 +11,7 @@
 //! | [`table1`] | Table 1 — per-workload rises and `T(r) = α·r^β` fits |
 //! | [`validation`] | §3.3 — throughput-model and energy validations |
 //! | [`sensitivity`] | reproduction-specific: where Figure 3's knee comes from |
+//! | [`robustness`] | reproduction-specific: degraded telemetry × controller hardening |
 
 pub mod fig1;
 pub mod fig2;
@@ -18,6 +19,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod robustness;
 pub mod sensitivity;
 pub mod table1;
 pub mod validation;

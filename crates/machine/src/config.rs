@@ -81,6 +81,90 @@ impl ThermalThrottle {
             throttle_duty: 0.5,
         }
     }
+
+    /// Checks the parameters, returning a human-readable reason when they
+    /// are inconsistent. Called by `Machine::new`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.trigger_celsius.is_finite() {
+            return Err(format!("throttle trigger must be finite, got {}", self.trigger_celsius));
+        }
+        if !(self.hysteresis.is_finite() && self.hysteresis >= 0.0) {
+            return Err(format!(
+                "throttle hysteresis must be finite and >= 0, got {}",
+                self.hysteresis
+            ));
+        }
+        if !(self.throttle_duty.is_finite()
+            && self.throttle_duty > 0.0
+            && self.throttle_duty < 1.0)
+        {
+            return Err(format!("throttle duty must be in (0, 1), got {}", self.throttle_duty));
+        }
+        Ok(())
+    }
+}
+
+/// A latched PROCHOT-style thermal trip: the last-resort safety net
+/// behind both the preventive mechanism and the ordinary reactive
+/// throttle. Where [`ThermalThrottle`] engages and releases freely on
+/// its hysteresis band, the trip *latches*: once any core sensor crosses
+/// `critical_celsius` the chip is forced to `trip_duty` TCC duty cycling
+/// and stays there for at least `min_hold`, releasing only when the
+/// hottest sensor has fallen to `release_celsius`. The latch-and-hold
+/// shape is what makes the trip a safety guarantee rather than a
+/// regulator: even if a faulty controller keeps commanding full duty,
+/// temperature is bounded near the critical threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalTrip {
+    /// Sensor temperature that latches the trip, °C.
+    pub critical_celsius: f64,
+    /// Sensor temperature the hottest core must fall to before the latch
+    /// releases, °C (strictly below `critical_celsius`).
+    pub release_celsius: f64,
+    /// TCC duty forced while latched, in `(0, 1]`.
+    pub trip_duty: f64,
+    /// Minimum time the latch holds once engaged, regardless of
+    /// temperature.
+    pub min_hold: SimDuration,
+}
+
+impl ThermalTrip {
+    /// A PROCHOT-style trip: duty-cycle to 30 % at the critical
+    /// threshold, hold at least a second, release 3 °C below.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `critical_celsius` is not finite.
+    pub fn prochot_at(critical_celsius: f64) -> Self {
+        assert!(critical_celsius.is_finite(), "critical threshold must be finite");
+        ThermalTrip {
+            critical_celsius,
+            release_celsius: critical_celsius - 3.0,
+            trip_duty: 0.3,
+            min_hold: SimDuration::from_secs(1),
+        }
+    }
+
+    /// Checks the parameters, returning a human-readable reason when they
+    /// are inconsistent. Called by `Machine::new`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.critical_celsius.is_finite() || !self.release_celsius.is_finite() {
+            return Err(format!(
+                "thermal trip thresholds must be finite, got critical {} / release {}",
+                self.critical_celsius, self.release_celsius
+            ));
+        }
+        if self.release_celsius >= self.critical_celsius {
+            return Err(format!(
+                "thermal trip release ({}) must sit below critical ({})",
+                self.release_celsius, self.critical_celsius
+            ));
+        }
+        if !(self.trip_duty.is_finite() && self.trip_duty > 0.0 && self.trip_duty <= 1.0) {
+            return Err(format!("thermal trip duty must be in (0, 1], got {}", self.trip_duty));
+        }
+        Ok(())
+    }
 }
 
 /// Geometry and material parameters of the die→package→heatsink→ambient
@@ -142,6 +226,9 @@ pub struct MachineConfig {
     /// paper's observation that such mechanisms "are not activated except
     /// under extreme thermal conditions".
     pub thermal_throttle: Option<ThermalThrottle>,
+    /// Latched last-resort thermal trip behind the throttle; `None` (the
+    /// default) matches the pre-fault-layer machine exactly.
+    pub thermal_trip: Option<ThermalTrip>,
     /// Per-core DVFS support. `false` (the default, and the paper's
     /// platform): the whole chip shares one P-state — §2.1's "DVFS is not
     /// yet available for individual cores on commodity hardware", the
@@ -195,6 +282,7 @@ impl MachineConfig {
             idle_mode: IdleMode::C1e,
             deep_idle: None,
             thermal_throttle: None,
+            thermal_trip: None,
             per_core_dvfs: false,
         }
     }
@@ -299,6 +387,29 @@ mod tests {
         let deep = c.deep_idle.expect("enabled");
         assert!(deep.min_residency > SimDuration::from_micros(100));
         assert!(MachineConfig::xeon_e5520().deep_idle.is_none());
+    }
+
+    #[test]
+    fn trip_preset_is_consistent_and_validators_reject_nonsense() {
+        let trip = ThermalTrip::prochot_at(70.0);
+        assert!(trip.validate().is_ok());
+        assert!(trip.release_celsius < trip.critical_celsius);
+        assert!(trip.trip_duty > 0.0 && trip.trip_duty <= 1.0);
+
+        let inverted = ThermalTrip { release_celsius: 71.0, ..trip };
+        assert!(inverted.validate().is_err());
+        let nan = ThermalTrip { critical_celsius: f64::NAN, ..trip };
+        assert!(nan.validate().is_err());
+        let dead = ThermalTrip { trip_duty: 0.0, ..trip };
+        assert!(dead.validate().is_err());
+
+        let throttle = ThermalThrottle::prochot_at(50.0);
+        assert!(throttle.validate().is_ok());
+        assert!(ThermalThrottle { hysteresis: -1.0, ..throttle }.validate().is_err());
+        assert!(ThermalThrottle { throttle_duty: 1.0, ..throttle }.validate().is_err());
+        assert!(ThermalThrottle { trigger_celsius: f64::INFINITY, ..throttle }
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -39,5 +39,5 @@
 mod config;
 mod machine;
 
-pub use config::{DeepIdleConfig, IdleMode, MachineConfig, ThermalSpec, ThermalThrottle};
-pub use machine::{CoreId, Machine, MachineError};
+pub use config::{DeepIdleConfig, IdleMode, MachineConfig, ThermalSpec, ThermalThrottle, ThermalTrip};
+pub use machine::{CoreId, Machine, MachineError, MIN_TCC_DUTY};

@@ -8,6 +8,11 @@ use dimetrodon_thermal::{NodeId, ThermalError, ThermalNetwork, ThermalNetworkBui
 
 use crate::config::{IdleMode, MachineConfig};
 
+/// The floor [`Machine::set_tcc_duty_clamped`] clamps to: one TCC gate
+/// step out of eight, matching the coarsest p4tcc modulation on the
+/// modelled platform.
+pub const MIN_TCC_DUTY: f64 = 0.125;
+
 /// Identifies a logical CPU (hardware thread context) of a [`Machine`].
 ///
 /// With SMT disabled (the paper's configuration, `threads_per_core = 1`)
@@ -43,6 +48,12 @@ pub enum MachineError {
     },
     /// The thermal stack could not be built.
     Thermal(ThermalError),
+    /// A DTM parameter block (throttle or trip) was non-finite or out of
+    /// range.
+    BadDtmConfig {
+        /// Human-readable reason from the validator.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MachineError {
@@ -53,6 +64,9 @@ impl fmt::Display for MachineError {
                 write!(f, "threads per core must be 1 or 2, got {requested}")
             }
             MachineError::Thermal(e) => write!(f, "invalid thermal stack: {e}"),
+            MachineError::BadDtmConfig { reason } => {
+                write!(f, "invalid DTM configuration: {reason}")
+            }
         }
     }
 }
@@ -61,7 +75,9 @@ impl std::error::Error for MachineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             MachineError::Thermal(e) => Some(e),
-            MachineError::NoCores | MachineError::BadSmtWidth { .. } => None,
+            MachineError::NoCores
+            | MachineError::BadSmtWidth { .. }
+            | MachineError::BadDtmConfig { .. } => None,
         }
     }
 }
@@ -133,6 +149,15 @@ pub struct Machine {
     tcc_duty: f64,
     /// Whether the reactive thermal throttle is currently tripped.
     throttled: bool,
+    /// Whether the latched thermal trip is currently engaged.
+    tripped: bool,
+    /// Trip activations since construction.
+    trip_count: u64,
+    /// Machine time advanced since construction; the trip latch's
+    /// minimum-hold timer is measured on this clock.
+    clock: SimDuration,
+    /// Clock value at which the trip last engaged.
+    tripped_at: SimDuration,
     energy: EnergyMeter,
 }
 
@@ -154,6 +179,15 @@ impl Machine {
             return Err(MachineError::BadSmtWidth {
                 requested: config.threads_per_core,
             });
+        }
+        if let Some(throttle) = &config.thermal_throttle {
+            throttle
+                .validate()
+                .map_err(|reason| MachineError::BadDtmConfig { reason })?;
+        }
+        if let Some(trip) = &config.thermal_trip {
+            trip.validate()
+                .map_err(|reason| MachineError::BadDtmConfig { reason })?;
         }
         let spec = config.thermal;
         let mut builder = ThermalNetworkBuilder::new(spec.ambient_celsius);
@@ -191,6 +225,10 @@ impl Machine {
             core_pstates: vec![None; num_physical],
             tcc_duty: 1.0,
             throttled: false,
+            tripped: false,
+            trip_count: 0,
+            clock: SimDuration::ZERO,
+            tripped_at: SimDuration::ZERO,
             energy: EnergyMeter::new(),
         })
     }
@@ -378,10 +416,30 @@ impl Machine {
     ///
     /// # Panics
     ///
-    /// Panics if `duty` is outside `(0, 1]`.
+    /// Panics if `duty` is non-finite (NaN included) or outside `(0, 1]`.
     pub fn set_tcc_duty(&mut self, duty: f64) {
-        assert!(duty > 0.0 && duty <= 1.0, "TCC duty must be in (0, 1], got {duty}");
+        assert!(
+            duty.is_finite() && duty > 0.0 && duty <= 1.0,
+            "TCC duty must be finite and in (0, 1], got {duty}"
+        );
         self.tcc_duty = duty;
+    }
+
+    /// Forgiving variant of [`set_tcc_duty`](Machine::set_tcc_duty) for
+    /// closed-loop actuators whose command may be degraded: finite values
+    /// are clamped into `[`[`MIN_TCC_DUTY`]`, 1]`, non-finite commands
+    /// leave the duty unchanged (flagged under the `invariants` feature,
+    /// where a NaN command is a controller bug worth stopping on).
+    /// Returns the duty actually in force.
+    pub fn set_tcc_duty_clamped(&mut self, duty: f64) -> f64 {
+        dimetrodon_sim_core::sim_invariant!(
+            duty.is_finite(),
+            "non-finite TCC duty command: {duty}"
+        );
+        if duty.is_finite() {
+            self.tcc_duty = duty.clamp(MIN_TCC_DUTY, 1.0);
+        }
+        self.tcc_duty
     }
 
     /// The current TCC duty cycle (the configured setpoint; see
@@ -392,17 +450,36 @@ impl Machine {
     }
 
     /// The TCC duty actually in force: the configured setpoint, further
-    /// clamped by the reactive thermal throttle when tripped.
+    /// clamped by the reactive thermal throttle and then by the latched
+    /// thermal trip when either is engaged.
     pub fn effective_tcc_duty(&self) -> f64 {
-        match self.config.thermal_throttle {
-            Some(throttle) if self.throttled => self.tcc_duty.min(throttle.throttle_duty),
-            _ => self.tcc_duty,
+        let mut duty = self.tcc_duty;
+        if let Some(throttle) = self.config.thermal_throttle {
+            if self.throttled {
+                duty = duty.min(throttle.throttle_duty);
+            }
         }
+        if let Some(trip) = self.config.thermal_trip {
+            if self.tripped {
+                duty = duty.min(trip.trip_duty);
+            }
+        }
+        duty
     }
 
     /// Whether the reactive thermal throttle is currently tripped.
     pub fn is_throttled(&self) -> bool {
         self.throttled
+    }
+
+    /// Whether the latched thermal trip is currently engaged.
+    pub fn is_tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// How many times the thermal trip has engaged since construction.
+    pub fn trip_count(&self) -> u64 {
+        self.trip_count
     }
 
     /// How fast CPU-bound work progresses relative to the unconstrained
@@ -467,6 +544,7 @@ impl Machine {
     /// accumulated into the energy meter.
     pub fn advance(&mut self, dt: SimDuration) -> f64 {
         self.update_throttle();
+        self.update_trip();
         let package = self.package_power();
         if dt.is_zero() {
             return package;
@@ -484,6 +562,7 @@ impl Machine {
             );
         }
         self.network.advance(dt);
+        self.clock += dt;
         let elapsed_before = self.energy.elapsed();
         self.energy.accumulate(package, dt);
         dimetrodon_sim_core::sim_invariant!(
@@ -510,6 +589,30 @@ impl Machine {
             }
         } else if hottest >= throttle.trigger_celsius {
             self.throttled = true;
+        }
+    }
+
+    /// Engages or releases the latched thermal trip from the hottest
+    /// sensor. Unlike the throttle's free-running hysteresis, the latch
+    /// holds for at least `min_hold` and releases only at the (lower)
+    /// release threshold — a safety net, not a regulator.
+    fn update_trip(&mut self) {
+        let Some(trip) = self.config.thermal_trip else {
+            return;
+        };
+        let hottest = (0..self.config.num_cores)
+            .map(|p| self.network.temperature(self.hotspot_nodes[p]))
+            .fold(f64::MIN, f64::max);
+        if self.tripped {
+            if self.clock.saturating_sub(self.tripped_at) >= trip.min_hold
+                && hottest <= trip.release_celsius
+            {
+                self.tripped = false;
+            }
+        } else if hottest >= trip.critical_celsius {
+            self.tripped = true;
+            self.tripped_at = self.clock;
+            self.trip_count += 1;
         }
     }
 
@@ -634,7 +737,7 @@ impl Machine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::ThermalThrottle;
+    use crate::config::{ThermalThrottle, ThermalTrip};
     use proptest::prelude::*;
 
     fn machine() -> Machine {
@@ -968,6 +1071,152 @@ mod tests {
         b.advance(SimDuration::from_secs(60));
         assert!(!a.is_throttled());
         assert_eq!(a.mean_core_temperature(), b.mean_core_temperature());
+    }
+
+    #[test]
+    fn thermal_trip_latches_holds_and_bounds_temperature() {
+        let mut cfg = MachineConfig::xeon_e5520();
+        cfg.thermal_trip = Some(ThermalTrip::prochot_at(50.0));
+        let mut m = Machine::new(cfg).unwrap();
+        m.settle_idle();
+        assert!(!m.is_tripped());
+        assert_eq!(m.trip_count(), 0);
+        all_active(&mut m);
+
+        // Heat to the latch point, then keep running under full duty
+        // command: the trip (not the controller) must bound temperature.
+        let mut peak_after_trip = f64::MIN;
+        let mut first_trip_step = None;
+        for step in 0..6000 {
+            m.advance(SimDuration::from_millis(100));
+            let hottest = (0..4)
+                .map(|i| m.core_sensor_temperature(CoreId(i)))
+                .fold(f64::MIN, f64::max);
+            if m.is_tripped() {
+                first_trip_step.get_or_insert(step);
+                peak_after_trip = peak_after_trip.max(hottest);
+            }
+        }
+        assert!(first_trip_step.is_some(), "full load must latch a 50 C trip");
+        assert!(m.trip_count() >= 1);
+        assert!(
+            peak_after_trip < 52.0,
+            "trip must bound the excursion near critical: {peak_after_trip}"
+        );
+
+        // While latched, the trip clamps duty below any setpoint command.
+        if m.is_tripped() {
+            m.set_tcc_duty(1.0);
+            assert!(m.effective_tcc_duty() <= 0.3);
+        }
+
+        // Idle the machine: the latch must release only below the release
+        // threshold, after which full speed returns.
+        for core in m.core_ids().collect::<Vec<_>>() {
+            m.set_core_idle(core);
+        }
+        for _ in 0..120 {
+            m.advance(SimDuration::from_secs(1));
+        }
+        assert!(!m.is_tripped(), "cooled machine must release the latch");
+        assert_eq!(m.effective_tcc_duty(), 1.0);
+    }
+
+    #[test]
+    fn trip_latch_respects_min_hold() {
+        // Engage the trip, then cool nearly instantly: release must still
+        // wait out `min_hold` on the machine clock.
+        let mut cfg = MachineConfig::xeon_e5520();
+        cfg.thermal_trip = Some(ThermalTrip {
+            critical_celsius: 35.0,
+            release_celsius: 32.0,
+            trip_duty: 0.5,
+            min_hold: SimDuration::from_secs(5),
+        });
+        let mut m = Machine::new(cfg).unwrap();
+        m.settle_idle();
+        all_active(&mut m);
+        for _ in 0..600 {
+            m.advance(SimDuration::from_millis(100));
+            if m.is_tripped() {
+                break;
+            }
+        }
+        assert!(m.is_tripped(), "35 C critical must latch quickly");
+        for core in m.core_ids().collect::<Vec<_>>() {
+            m.set_core_idle(core);
+        }
+        // 2 s after latching the machine is cool but the hold keeps it
+        // latched; past 5 s it releases.
+        for _ in 0..20 {
+            m.advance(SimDuration::from_millis(100));
+        }
+        assert!(m.is_tripped(), "min_hold must keep the latch engaged");
+        for _ in 0..100 {
+            m.advance(SimDuration::from_millis(100));
+        }
+        assert!(!m.is_tripped(), "latch must release after the hold expires");
+    }
+
+    #[test]
+    fn trip_unengaged_is_transparent() {
+        let mut cfg = MachineConfig::xeon_e5520();
+        cfg.thermal_trip = Some(ThermalTrip::prochot_at(90.0));
+        let mut a = Machine::new(cfg).unwrap();
+        let mut b = machine();
+        all_active(&mut a);
+        all_active(&mut b);
+        a.advance(SimDuration::from_secs(60));
+        b.advance(SimDuration::from_secs(60));
+        assert!(!a.is_tripped());
+        assert_eq!(a.trip_count(), 0);
+        assert_eq!(a.mean_core_temperature(), b.mean_core_temperature());
+    }
+
+    #[test]
+    fn bad_dtm_configs_are_rejected_at_construction() {
+        let mut cfg = MachineConfig::xeon_e5520();
+        cfg.thermal_trip = Some(ThermalTrip {
+            critical_celsius: 50.0,
+            release_celsius: 60.0,
+            trip_duty: 0.3,
+            min_hold: SimDuration::ZERO,
+        });
+        assert!(matches!(
+            Machine::new(cfg),
+            Err(MachineError::BadDtmConfig { .. })
+        ));
+        let mut cfg = MachineConfig::xeon_e5520();
+        cfg.thermal_throttle = Some(ThermalThrottle {
+            trigger_celsius: f64::NAN,
+            hysteresis: 2.0,
+            throttle_duty: 0.5,
+        });
+        assert!(matches!(
+            Machine::new(cfg),
+            Err(MachineError::BadDtmConfig { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "TCC duty")]
+    fn non_finite_tcc_duty_panics() {
+        machine().set_tcc_duty(f64::NAN);
+    }
+
+    #[test]
+    fn clamped_tcc_setter_never_leaves_range() {
+        let mut m = machine();
+        assert_eq!(m.set_tcc_duty_clamped(0.6), 0.6);
+        assert_eq!(m.set_tcc_duty_clamped(1.7), 1.0);
+        assert_eq!(m.set_tcc_duty_clamped(-3.0), MIN_TCC_DUTY);
+        assert_eq!(m.set_tcc_duty_clamped(0.0), MIN_TCC_DUTY);
+        // A NaN command is ignored (and would assert under `invariants`).
+        if !cfg!(feature = "invariants") {
+            m.set_tcc_duty_clamped(0.5);
+            assert_eq!(m.set_tcc_duty_clamped(f64::NAN), 0.5);
+            assert_eq!(m.tcc_duty(), 0.5);
+        }
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! the build environment is fully offline, so this crate provides the
 //! subset of that API the tests actually use: the [`proptest!`] macro with
 //! an optional `proptest_config` attribute, numeric range strategies,
-//! `any::<T>()`, tuple and `prop::collection::vec` combinators,
-//! `.prop_map`, and the `prop_assert!`/`prop_assert_eq!` macros.
+//! `any::<T>()`, tuple, [`prop_oneof!`], `prop::option::of`, and
+//! `prop::collection::vec` combinators, [`strategy::Just`], `.prop_map`,
+//! and the `prop_assert!`/`prop_assert_eq!` macros.
 //!
 //! Semantics are simplified relative to upstream: inputs are drawn
 //! uniformly from the strategies (no edge-case bias) and failing cases are
@@ -135,6 +136,61 @@ pub mod strategy {
         }
     }
 
+    /// A strategy that always yields clones of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// One boxed alternative of a [`OneOf`] choice: a generator drawing
+    /// a value from the arm's underlying strategy.
+    pub type OneOfArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+    /// A uniform choice between boxed alternatives, built by the
+    /// [`prop_oneof!`](crate::prop_oneof) macro. Unlike upstream, arms
+    /// are unweighted.
+    pub struct OneOf<V> {
+        arms: Vec<OneOfArm<V>>,
+    }
+
+    impl<V> OneOf<V> {
+        /// Builds a choice over `arms`; at least one is required.
+        pub fn new(arms: Vec<OneOfArm<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { arms }
+        }
+    }
+
+    impl<V> std::fmt::Debug for OneOf<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("OneOf").field("arms", &self.arms.len()).finish()
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            (self.arms[i])(rng)
+        }
+    }
+
+    /// Boxes one [`prop_oneof!`](crate::prop_oneof) arm. A function
+    /// rather than an `as` cast so the arms' value types unify cleanly.
+    pub fn one_of_arm<S>(s: S) -> OneOfArm<S::Value>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(move |rng| s.generate(rng))
+    }
+
     macro_rules! int_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for std::ops::Range<$t> {
@@ -174,6 +230,17 @@ pub mod strategy {
             } else {
                 x
             }
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start() <= self.end(), "empty range strategy");
+            // The exact upper endpoint is drawn with negligible (not
+            // upstream-faithful) probability; tests only rely on bounds.
+            self.start() + (self.end() - self.start()) * rng.unit_f64()
         }
     }
 
@@ -326,17 +393,62 @@ pub mod collection {
     }
 }
 
+/// Optional-value strategies (`prop::option::of`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // `None` one time in four, roughly matching upstream's
+            // default weighting.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// A strategy producing `Some` of `inner` most of the time, `None`
+    /// otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
 /// The usual glob import: `use proptest::prelude::*;`.
 pub mod prelude {
     pub use crate::arbitrary::any;
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
     /// Namespaced access to strategy modules (`prop::collection::vec`).
     pub mod prop {
         pub use crate::collection;
+        pub use crate::option;
     }
+}
+
+/// A strategy choosing uniformly among its arms each draw. All arms must
+/// generate the same value type. Unlike upstream, arms cannot carry
+/// weights.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::one_of_arm($strat)),+
+        ])
+    }};
 }
 
 /// Defines property tests: each `fn` runs its body over `config.cases`
@@ -482,6 +594,28 @@ mod tests {
         #[test]
         fn prop_map_composes(s in (1u8..5, 0.0f64..1.0).prop_map(|(n, f)| n as f64 + f)) {
             prop_assert!((1.0..5.0).contains(&s));
+        }
+
+        #[test]
+        fn oneof_draws_every_arm_type(
+            v in prop_oneof![Just(-1i64), 10i64..20, (0i64..3).prop_map(|x| x * 100)]
+        ) {
+            prop_assert!(
+                v == -1 || (10..20).contains(&v) || [0, 100, 200].contains(&v),
+                "unexpected value {v}"
+            );
+        }
+
+        #[test]
+        fn option_of_respects_inner_bounds(o in prop::option::of(5u32..8)) {
+            if let Some(v) = o {
+                prop_assert!((5..8).contains(&v));
+            }
+        }
+
+        #[test]
+        fn inclusive_f64_range_stays_in_bounds(x in 0.0f64..=1.0) {
+            prop_assert!((0.0..=1.0).contains(&x));
         }
     }
 }

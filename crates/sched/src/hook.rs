@@ -52,6 +52,14 @@ pub trait SchedHook: fmt::Debug {
     /// Called about once per simulated second, after the machine has been
     /// advanced; closed-loop policies adapt here.
     fn on_tick(&mut self, _now: SimTime, _machine: &Machine) {}
+
+    /// Downcasting escape hatch so experiment harnesses can read
+    /// hook-specific counters back out of a running
+    /// [`System`](crate::System). Hooks that expose post-run state
+    /// override this to return `Some(self)`; the default opts out.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// The unmodified kernel: never injects.

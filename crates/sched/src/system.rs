@@ -241,6 +241,13 @@ impl System {
         self.hook = hook;
     }
 
+    /// The installed scheduling hook. Combined with
+    /// [`SchedHook::as_any`], lets harnesses read policy counters
+    /// (injection totals, fault statistics) back out after a run.
+    pub fn hook(&self) -> &dyn SchedHook {
+        self.hook.as_ref()
+    }
+
     /// Attaches a power meter that observes package power from now on.
     pub fn attach_power_meter(&mut self, meter: PowerMeter) {
         self.power_meter = Some(meter);

@@ -123,6 +123,16 @@ impl TimeSeries {
         self.values.iter().copied().reduce(f64::max)
     }
 
+    /// Whether every sample value is finite (no NaN or infinities).
+    ///
+    /// [`TimeSeries::push`] already rejects NaN unconditionally and all
+    /// non-finite values under the `invariants` feature; this check lets
+    /// release-mode consumers — the fault-injection property tests in
+    /// particular — assert the "finite series" invariant explicitly.
+    pub fn all_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+    }
+
     /// The unweighted mean of samples with `time >= from`.
     ///
     /// This is the paper's §3.4 measurement: "the average temperature over
@@ -267,6 +277,20 @@ mod tests {
         assert_eq!(s.mean_over(SimTime::from_millis(200)), Some(3.5));
         assert_eq!(s.mean_over(SimTime::from_millis(0)), Some(2.5));
         assert_eq!(s.mean_over(SimTime::from_millis(301)), None);
+    }
+
+    #[test]
+    fn all_finite_flags_infinities() {
+        let s = series(&[(0, 1.0), (100, 2.0)]);
+        assert!(s.all_finite());
+        assert!(TimeSeries::new("empty").all_finite(), "vacuously true");
+        // Infinity slips past the release-mode push (only NaN is rejected
+        // unconditionally); all_finite must still catch it.
+        if !cfg!(feature = "invariants") {
+            let mut s = series(&[(0, 1.0)]);
+            s.push(SimTime::from_millis(100), f64::INFINITY);
+            assert!(!s.all_finite());
+        }
     }
 
     #[test]

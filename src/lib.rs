@@ -12,6 +12,8 @@
 //! * [`machine`] — the simulated Xeon E5520 test platform;
 //! * [`sched`] — threads, the 4.4BSD/ULE schedulers, and the full-system
 //!   simulation;
+//! * [`faults`] — deterministic fault injection: degraded sensor models,
+//!   scheduler-side fault wrappers, and the fault schedule DSL;
 //! * [`workload`] — cpuburn, SPEC-like profiles, and the web workload;
 //! * [`analysis`] — pareto frontiers, power-law fits, statistics, tables;
 //! * [`harness`] — one runnable experiment per table and figure.
@@ -40,6 +42,7 @@
 
 pub use dimetrodon as policy;
 pub use dimetrodon_analysis as analysis;
+pub use dimetrodon_faults as faults;
 pub use dimetrodon_harness as harness;
 pub use dimetrodon_machine as machine;
 pub use dimetrodon_power as power;
