@@ -33,7 +33,7 @@ use dimetrodon_sched::{
 use dimetrodon_sim_core::{SimDuration, SimTime};
 use dimetrodon_workload::CpuBurn;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let config = run_config_from_args(111);
     let mut table = Table::new(vec!["ablation", "variant", "metric", "value"]);
 
@@ -51,6 +51,8 @@ fn main() {
     banner("ablations", "design-choice studies (one knob per section)");
     println!("{}", table.render());
     write_csv("ablations", &table);
+
+    dimetrodon_bench::supervision_epilogue()
 }
 
 fn push(table: &mut Table, ablation: &str, variant: &str, metric: &str, value: f64) {

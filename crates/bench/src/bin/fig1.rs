@@ -8,7 +8,7 @@ use dimetrodon_analysis::Table;
 use dimetrodon_bench::{banner, run_config_from_args, write_csv};
 use dimetrodon_harness::experiments::fig1::{self, Fig1Data};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     banner(
         "Figure 1",
         "race-to-idle vs Dimetrodon power consumption (4-thread cpuburn burst)",
@@ -46,4 +46,6 @@ fn main() {
         ]);
     }
     write_csv("fig1_power_traces", &table);
+
+    dimetrodon_bench::supervision_epilogue()
 }

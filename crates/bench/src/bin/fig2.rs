@@ -9,7 +9,7 @@ use dimetrodon_analysis::Table;
 use dimetrodon_bench::{banner, run_config_from_args, write_csv};
 use dimetrodon_harness::experiments::fig2;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     banner(
         "Figure 2",
         "temperature rise over idle, 4x cpuburn, varying idle proportion p (L = 100 ms)",
@@ -44,4 +44,6 @@ fn main() {
         table.row(row);
     }
     write_csv("fig2_temperature_rise", &table);
+
+    dimetrodon_bench::supervision_epilogue()
 }

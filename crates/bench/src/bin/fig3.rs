@@ -5,11 +5,10 @@
 //! cargo run --release -p dimetrodon-bench --bin fig3
 //! ```
 
-use dimetrodon_analysis::Table;
-use dimetrodon_bench::{banner, quick_requested, run_config_from_args, write_csv};
+use dimetrodon_bench::{banner, fig3_table, quick_requested, run_config_from_args, write_csv};
 use dimetrodon_harness::experiments::fig3;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     banner(
         "Figure 3",
         "efficiency vs idle quantum length L for p in {.1, .25, .5, .75}",
@@ -21,22 +20,7 @@ fn main() {
         fig3::run(config)
     };
 
-    let mut table = Table::new(vec![
-        "p",
-        "L_ms",
-        "temp_reduction",
-        "throughput_reduction",
-        "efficiency",
-    ]);
-    for point in &data.points {
-        table.row(vec![
-            format!("{:.2}", point.p),
-            format!("{}", point.l_ms),
-            format!("{:.4}", point.temp_reduction),
-            format!("{:.4}", point.throughput_reduction),
-            format!("{:.2}", point.efficiency()),
-        ]);
-    }
+    let table = fig3_table(&data);
     println!("{}", table.render());
     write_csv("fig3_efficiency", &table);
 
@@ -54,4 +38,6 @@ fn main() {
         best.l_ms,
         best.temp_reduction * 100.0,
     );
+
+    dimetrodon_bench::supervision_epilogue()
 }

@@ -24,7 +24,7 @@ fn rows(table: &mut Table, mechanism: &str, points: &[SweepPoint], pareto: &[Swe
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     banner(
         "Figure 4",
         "Dimetrodon vs voltage/frequency scaling vs p4tcc clock duty cycling",
@@ -63,4 +63,6 @@ fn main() {
         sub_one,
         data.tcc.len()
     );
+
+    dimetrodon_bench::supervision_epilogue()
 }

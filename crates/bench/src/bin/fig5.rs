@@ -9,7 +9,7 @@ use dimetrodon_analysis::Table;
 use dimetrodon_bench::{banner, quick_requested, run_config_from_args, write_csv};
 use dimetrodon_harness::experiments::fig5::{self, PolicyScope};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     banner(
         "Figure 5",
         "global vs per-thread control: cool-process throughput vs system temperature reduction",
@@ -56,4 +56,6 @@ fn main() {
         worst_per_thread * 100.0,
         best_global * 100.0,
     );
+
+    dimetrodon_bench::supervision_epilogue()
 }

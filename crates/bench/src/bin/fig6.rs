@@ -9,7 +9,7 @@ use dimetrodon_analysis::{pareto_frontier, Histogram, Table, TradeoffPoint};
 use dimetrodon_bench::{banner, quick_requested, run_config_from_args, write_csv};
 use dimetrodon_harness::experiments::fig6;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     banner(
         "Figure 6",
         "QoS vs temperature reduction for the 440-connection web workload",
@@ -100,4 +100,6 @@ fn main() {
             .collect();
         println!("{metric} pareto boundary: {}", described.join(", "));
     }
+
+    dimetrodon_bench::supervision_epilogue()
 }

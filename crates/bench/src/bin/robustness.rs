@@ -10,7 +10,7 @@ use dimetrodon_analysis::Table;
 use dimetrodon_bench::{banner, run_config_from_args, write_csv};
 use dimetrodon_harness::experiments::robustness;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     banner(
         "robustness",
         "setpoint control under sensor faults; trip activations and tracking cost",
@@ -58,4 +58,6 @@ fn main() {
         "Hardened cells spend their blind ticks in fallback (preventive \
          injection ceded to the trip) instead of integrating noise."
     );
+
+    dimetrodon_bench::supervision_epilogue()
 }

@@ -6,31 +6,56 @@
 //! cargo run --release -p dimetrodon-bench --bin run_all -- --quick --jobs 8
 //! ```
 
+use std::process::ExitCode;
 use std::time::Instant;
 
-use dimetrodon_bench::{banner, quick_requested, run_config_from_args};
+use dimetrodon_analysis::Table;
+use dimetrodon_bench::{
+    banner, fig3_table, quick_requested, results_dir, run_config_from_args,
+    supervision_epilogue, write_csv,
+};
 use dimetrodon_harness::experiments::{fig1, fig2, fig3, fig4, fig5, fig6, table1, validation};
 
-fn main() {
+fn main() -> ExitCode {
     let config = run_config_from_args(110);
     let quick = quick_requested();
     let mut summary: Vec<String> = Vec::new();
+    let mut flushed: Vec<(String, String)> = Vec::new();
     let total_start = Instant::now();
 
     banner("run_all", "regenerating every table and figure");
 
-    // Appends an experiment's summary line tagged with its wall-clock time.
-    let timed = |summary: &mut Vec<String>, name: &str, line: String, start: Instant| {
+    // Appends an experiment's summary line tagged with its wall-clock
+    // time, and flushes the timing-free summary rows to
+    // `results/run_all_summary.csv` after every experiment so a killed
+    // run leaves its completed results on disk (and a resumed run
+    // regenerates the identical file).
+    let timed = |summary: &mut Vec<String>,
+                 flushed: &mut Vec<(String, String)>,
+                 name: &str,
+                 line: String,
+                 start: Instant| {
         summary.push(format!(
             "{line}   [{name}: {:.1}s]",
             start.elapsed().as_secs_f64()
         ));
+        flushed.push((name.to_string(), line));
+        let mut table = Table::new(vec!["experiment", "summary"]);
+        for (experiment, text) in flushed.iter() {
+            table.row(vec![experiment.clone(), text.clone()]);
+        }
+        std::fs::write(
+            results_dir().join("run_all_summary.csv"),
+            table.render_csv(),
+        )
+        .expect("write run_all summary csv");
     };
 
     let start = Instant::now();
     let f1 = fig1::run(config.seed);
     timed(
         &mut summary,
+        &mut flushed,
         "fig1",
         format!(
             "fig1: energy ratio {:.3}, dimetrodon computes at {:.1} W vs {:.1} W",
@@ -50,6 +75,7 @@ fn main() {
         .collect();
     timed(
         &mut summary,
+        &mut flushed,
         "fig2",
         format!("fig2: tail rises {}", rises.join(" ")),
         start,
@@ -61,6 +87,7 @@ fn main() {
     } else {
         fig3::run(config)
     };
+    write_csv("fig3_efficiency", &fig3_table(&f3));
     let best = f3
         .points
         .iter()
@@ -69,6 +96,7 @@ fn main() {
         .fold(f64::NEG_INFINITY, f64::max);
     timed(
         &mut summary,
+        &mut flushed,
         "fig3",
         format!("fig3: best efficiency {best:.1}:1"),
         start,
@@ -82,6 +110,7 @@ fn main() {
     };
     timed(
         &mut summary,
+        &mut flushed,
         "fig4",
         match fig4::crossover_temp_reduction(&f4) {
             Some(r) => format!("fig4: dimetrodon/VFS crossover ~{:.0}%", r * 100.0),
@@ -103,6 +132,7 @@ fn main() {
         .fold(f64::INFINITY, f64::min);
     timed(
         &mut summary,
+        &mut flushed,
         "fig5",
         format!(
             "fig5: per-thread cool throughput >= {:.0}%",
@@ -119,6 +149,7 @@ fn main() {
     };
     timed(
         &mut summary,
+        &mut flushed,
         "fig6",
         format!(
             "fig6: baseline rise {:.1} C over {} requests",
@@ -133,6 +164,7 @@ fn main() {
     let convex = t1.iter().filter(|r| r.fit.beta > 1.0).count();
     timed(
         &mut summary,
+        &mut flushed,
         "table1",
         format!("table1: {}/{} workloads convex", convex, t1.len()),
         start,
@@ -143,6 +175,7 @@ fn main() {
     let tv = validation::throughput(trials, config.seed);
     timed(
         &mut summary,
+        &mut flushed,
         "validation-throughput",
         format!(
             "validation (throughput): mean deviation {:+.2}%",
@@ -155,6 +188,7 @@ fn main() {
     let ev = validation::energy(if quick { 2 } else { 5 }, config.seed);
     timed(
         &mut summary,
+        &mut flushed,
         "validation-energy",
         format!(
             "validation (energy): mean deviation {:+.2}%",
@@ -168,4 +202,6 @@ fn main() {
         println!("  {line}");
     }
     println!("  total wall-clock: {:.1}s", total_start.elapsed().as_secs_f64());
+
+    supervision_epilogue()
 }

@@ -9,7 +9,7 @@ use dimetrodon_analysis::Table;
 use dimetrodon_bench::{banner, run_config_from_args, write_csv};
 use dimetrodon_harness::experiments::sensitivity;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     banner(
         "sensitivity",
         "efficiency-vs-L knee location as the hotspot time constant varies",
@@ -47,4 +47,6 @@ fn main() {
          S3.4's \"the optimal idle period appears closer to the order of \
          one ms\"."
     );
+
+    dimetrodon_bench::supervision_epilogue()
 }

@@ -9,7 +9,7 @@ use dimetrodon_analysis::Table;
 use dimetrodon_bench::{banner, run_config_from_args, write_csv};
 use dimetrodon_harness::experiments::table1;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     banner(
         "Table 1",
         "real-workload results: rise over idle (% of cpuburn) and T(r) = a*r^b fits",
@@ -49,4 +49,6 @@ fn main() {
         convex,
         rows.len()
     );
+
+    dimetrodon_bench::supervision_epilogue()
 }

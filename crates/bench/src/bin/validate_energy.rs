@@ -7,10 +7,11 @@
 //! ```
 
 use dimetrodon_analysis::Table;
-use dimetrodon_bench::{banner, quick_requested, write_csv};
+use dimetrodon_bench::{apply_common_args, banner, quick_requested, write_csv};
 use dimetrodon_harness::experiments::validation;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    apply_common_args();
     banner(
         "S3.3 (energy)",
         "Dimetrodon energy / race-to-idle energy over equal windows (7 s finite cpuburn)",
@@ -46,4 +47,6 @@ fn main() {
         v.overall_deviation.mean * 100.0,
         v.overall_deviation.mean_abs * 100.0,
     );
+
+    dimetrodon_bench::supervision_epilogue()
 }

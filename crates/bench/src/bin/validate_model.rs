@@ -8,7 +8,7 @@
 //! ```
 
 use dimetrodon_analysis::Table;
-use dimetrodon_bench::{banner, quick_requested, write_csv};
+use dimetrodon_bench::{apply_common_args, banner, quick_requested, write_csv};
 use dimetrodon_harness::experiments::validation;
 
 fn trials_from_args(default: usize) -> usize {
@@ -22,7 +22,8 @@ fn trials_from_args(default: usize) -> usize {
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    apply_common_args();
     banner(
         "S3.3 (throughput)",
         "measured runtime vs D(t) = R + S*p/(1-p)*L over the paper's (p, L) grid",
@@ -58,4 +59,6 @@ fn main() {
         v.overall.std_dev * 100.0,
         v.overall.n,
     );
+
+    dimetrodon_bench::supervision_epilogue()
 }

@@ -9,14 +9,18 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
 
 use dimetrodon_analysis::Table;
+use dimetrodon_harness::supervise::{self, PanicPolicy, SupervisorConfig};
 use dimetrodon_harness::RunConfig;
 
 /// Parses the common CLI convention: `--quick` selects the shortened run
 /// configuration, `--seed N` overrides the seed, and `--jobs N` sets the
 /// sweep worker count (default: one per available core; results are
-/// identical at every worker count).
+/// identical at every worker count). Also installs the sweep supervisor
+/// from the supervision flags (see [`supervisor_from_args`]).
 ///
 /// # Panics
 ///
@@ -32,11 +36,89 @@ pub fn run_config_from_args(default_seed: u64) -> RunConfig {
             .expect("--seed requires an integer");
     }
     apply_jobs_from_args(&args);
+    supervise::install(supervisor_from_args(&args));
     if args.iter().any(|a| a == "--quick") {
         RunConfig::quick(seed)
     } else {
         RunConfig::paper(seed)
     }
+}
+
+/// Parses the supervision flags shared by every bench binary:
+///
+/// * `--strict` — abort the whole sweep on a panicking point (the
+///   pre-supervisor behaviour) instead of quarantining it;
+/// * `--retries N` — extra attempts for a failed point (default 0), with
+///   seeds re-derived from the grid so output stays deterministic;
+/// * `--point-deadline SECS` — wall-clock watchdog per point attempt;
+/// * `--sweep-budget SECS` — wall-clock budget per sweep, points past it
+///   are skipped;
+/// * `--resume` — replay completed points from the on-disk journal of a
+///   previous (possibly killed) run;
+/// * `--no-journal` — disable the journal entirely (it defaults to
+///   `results/.journal/`).
+///
+/// # Panics
+///
+/// Panics if a flag's value is missing or unparsable.
+pub fn supervisor_from_args(args: &[String]) -> SupervisorConfig {
+    let seconds_after = |flag: &str| -> Option<Duration> {
+        args.iter().position(|a| a == flag).map(|pos| {
+            let secs: f64 = args
+                .get(pos + 1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("{flag} requires a number of seconds"));
+            assert!(
+                secs.is_finite() && secs > 0.0,
+                "{flag} requires a positive number of seconds"
+            );
+            Duration::from_secs_f64(secs)
+        })
+    };
+    let retries = match args.iter().position(|a| a == "--retries") {
+        Some(pos) => args
+            .get(pos + 1)
+            .and_then(|s| s.parse().ok())
+            .expect("--retries requires a non-negative integer"),
+        None => 0,
+    };
+    let journal_dir = if args.iter().any(|a| a == "--no-journal") {
+        None
+    } else {
+        Some(results_dir().join(".journal"))
+    };
+    SupervisorConfig {
+        policy: if args.iter().any(|a| a == "--strict") {
+            PanicPolicy::Strict
+        } else {
+            PanicPolicy::Quarantine
+        },
+        point_deadline: seconds_after("--point-deadline"),
+        sweep_budget: seconds_after("--sweep-budget"),
+        retries,
+        journal_dir,
+        resume: args.iter().any(|a| a == "--resume"),
+    }
+}
+
+/// End-of-run supervision report: prints how many points were replayed
+/// from journals and every quarantine/timeout/skip incident, and turns
+/// incidents into a nonzero exit code so CI catches degraded runs even
+/// though the rest of the grid completed.
+pub fn supervision_epilogue() -> ExitCode {
+    let replayed = supervise::take_replayed();
+    if replayed > 0 {
+        println!("[resume: {replayed} point(s) replayed from journal]");
+    }
+    let incidents = supervise::take_incidents();
+    if incidents.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("{} point(s) failed under supervision:", incidents.len());
+    for incident in &incidents {
+        eprintln!("  {incident}");
+    }
+    ExitCode::FAILURE
 }
 
 /// Applies a `--jobs N` argument (if present) to the sweep engine.
@@ -53,6 +135,15 @@ pub fn apply_jobs_from_args(args: &[String]) {
         assert!(jobs > 0, "--jobs requires a positive integer");
         dimetrodon_harness::sweep::set_jobs(jobs);
     }
+}
+
+/// Installs the worker-count override and the sweep supervisor from the
+/// process arguments, for binaries that do not take a [`RunConfig`]
+/// (the validation bins); [`run_config_from_args`] does this implicitly.
+pub fn apply_common_args() {
+    let args: Vec<String> = std::env::args().collect();
+    apply_jobs_from_args(&args);
+    supervise::install(supervisor_from_args(&args));
 }
 
 /// Whether `--quick` was passed (for binaries that scale sweep grids as
@@ -80,6 +171,29 @@ pub fn write_csv(name: &str, table: &Table) {
     let path = results_dir().join(format!("{name}.csv"));
     fs::write(&path, table.render_csv()).expect("write csv");
     println!("[wrote {}]", path.display());
+}
+
+/// The Figure 3 efficiency table, shared by the `fig3` binary and
+/// `run_all` so both emit the identical `fig3_efficiency.csv` (which the
+/// CI kill-and-resume check diffs byte-for-byte).
+pub fn fig3_table(data: &dimetrodon_harness::experiments::fig3::Fig3Data) -> Table {
+    let mut table = Table::new(vec![
+        "p",
+        "L_ms",
+        "temp_reduction",
+        "throughput_reduction",
+        "efficiency",
+    ]);
+    for point in &data.points {
+        table.row(vec![
+            format!("{:.2}", point.p),
+            format!("{}", point.l_ms),
+            format!("{:.4}", point.temp_reduction),
+            format!("{:.4}", point.throughput_reduction),
+            format!("{:.2}", point.efficiency()),
+        ]);
+    }
+    table
 }
 
 #[cfg(test)]

@@ -92,6 +92,14 @@ pub struct Options {
     /// Worker threads for sweep-shaped runs; `None` means one per
     /// available core. Results are identical at every worker count.
     pub jobs: Option<usize>,
+    /// Abort sweep-shaped runs on a panicking point (the pre-supervisor
+    /// behaviour) instead of quarantining it.
+    pub strict: bool,
+    /// Extra attempts for a failed sweep point; retry seeds are derived
+    /// from the grid, so results stay deterministic.
+    pub retries: u32,
+    /// Wall-clock watchdog per sweep-point attempt, seconds.
+    pub point_deadline: Option<f64>,
 }
 
 impl Default for Options {
@@ -113,6 +121,9 @@ impl Default for Options {
             trip: None,
             seed: 42,
             jobs: None,
+            strict: false,
+            retries: 0,
+            point_deadline: None,
         }
     }
 }
@@ -188,6 +199,11 @@ OPTIONS:
                        temperature
     --seed <n>         simulation seed                    [default: 42]
     --jobs <n>         worker threads for sweep runs      [default: all cores]
+    --strict           abort sweep runs on a panicking point instead of
+                       quarantining it and finishing the grid
+    --retries <n>      extra attempts for a failed sweep point (seeds are
+                       re-derived from the grid; deterministic)  [default: 0]
+    --point-deadline <s> wall-clock watchdog per sweep-point attempt
     --help             print this text
 ";
 
@@ -369,6 +385,31 @@ impl Options {
                     }
                     options.jobs = Some(n);
                 }
+                "--strict" => options.strict = true,
+                "--retries" => {
+                    let raw = value_for("--retries")?;
+                    options.retries = raw.parse().map_err(|_| ParseArgsError::BadValue {
+                        flag: "--retries",
+                        value: raw,
+                        expected: "a non-negative attempt count",
+                    })?;
+                }
+                "--point-deadline" => {
+                    let raw = value_for("--point-deadline")?;
+                    let secs: f64 = raw.parse().map_err(|_| ParseArgsError::BadValue {
+                        flag: "--point-deadline",
+                        value: raw.clone(),
+                        expected: "a positive number of seconds",
+                    })?;
+                    if !(secs > 0.0 && secs.is_finite()) {
+                        return Err(ParseArgsError::BadValue {
+                            flag: "--point-deadline",
+                            value: raw,
+                            expected: "a positive number of seconds",
+                        });
+                    }
+                    options.point_deadline = Some(secs);
+                }
                 "--help" | "-h" => return Err(ParseArgsError::HelpRequested),
                 other => return Err(ParseArgsError::UnknownFlag(other.to_string())),
             }
@@ -505,6 +546,27 @@ mod tests {
             Err(ParseArgsError::BadValue { flag: "--jobs", .. })
         ));
         assert!(USAGE.contains("--jobs"));
+    }
+
+    #[test]
+    fn supervisor_flags_parse_and_validate() {
+        let o = Options::parse(["--strict", "--retries", "3", "--point-deadline", "2.5"]).unwrap();
+        assert!(o.strict);
+        assert_eq!(o.retries, 3);
+        assert_eq!(o.point_deadline, Some(2.5));
+        assert!(matches!(
+            Options::parse(["--retries", "-1"]),
+            Err(ParseArgsError::BadValue { flag: "--retries", .. })
+        ));
+        assert!(matches!(
+            Options::parse(["--point-deadline", "0"]),
+            Err(ParseArgsError::BadValue { flag: "--point-deadline", .. })
+        ));
+        assert!(matches!(
+            Options::parse(["--point-deadline", "inf"]),
+            Err(ParseArgsError::BadValue { flag: "--point-deadline", .. })
+        ));
+        assert!(USAGE.contains("--strict") && USAGE.contains("--point-deadline"));
     }
 
     #[test]

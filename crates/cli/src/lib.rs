@@ -21,4 +21,4 @@ mod args;
 mod report;
 
 pub use args::{Options, ParseArgsError, SchedulerChoice, WorkloadChoice, USAGE};
-pub use report::{run_scenario, Report, ScenarioError};
+pub use report::{run_scenario, supervisor_config, Report, ScenarioError};

@@ -29,6 +29,7 @@ fn main() -> ExitCode {
     if let Some(jobs) = options.jobs {
         dimetrodon_harness::sweep::set_jobs(jobs);
     }
+    dimetrodon_harness::supervise::install(dimetrodon_cli::supervisor_config(&options));
 
     println!(
         "running {:?} for {} (seed {})...",

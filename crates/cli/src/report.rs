@@ -266,6 +266,29 @@ fn telemetry_losses(hook: &dyn SchedHook) -> u64 {
     0
 }
 
+/// Builds the sweep-supervisor configuration the CLI installs from its
+/// flags: `--strict`, `--retries`, `--point-deadline`. Scenario runs are
+/// single points, so the CLI neither journals nor resumes; the flags
+/// give sweep-shaped code reached from the CLI the same supervision
+/// switchboard as the bench binaries.
+pub fn supervisor_config(options: &Options) -> dimetrodon_harness::supervise::SupervisorConfig {
+    use dimetrodon_harness::supervise::{PanicPolicy, SupervisorConfig};
+    SupervisorConfig {
+        policy: if options.strict {
+            PanicPolicy::Strict
+        } else {
+            PanicPolicy::Quarantine
+        },
+        point_deadline: options
+            .point_deadline
+            .map(std::time::Duration::from_secs_f64),
+        sweep_budget: None,
+        retries: options.retries,
+        journal_dir: None,
+        resume: false,
+    }
+}
+
 impl Report {
     /// Renders the report as an aligned table plus workload-specific
     /// lines.
@@ -296,6 +319,21 @@ impl Report {
         }
         if self.options.faults_path.is_some() || self.options.sensor_noise.is_some() {
             row("sensor reads dropped", format!("{}", self.dropped_reads));
+        }
+        if self.options.strict || self.options.retries > 0 || self.options.point_deadline.is_some()
+        {
+            let mut supervision = String::from(if self.options.strict {
+                "strict"
+            } else {
+                "quarantine"
+            });
+            if self.options.retries > 0 {
+                supervision.push_str(&format!(", retries {}", self.options.retries));
+            }
+            if let Some(deadline) = self.options.point_deadline {
+                supervision.push_str(&format!(", point deadline {deadline} s"));
+            }
+            row("sweep supervision", supervision);
         }
         let mut out = table.render();
         if let Some(qos) = &self.qos {

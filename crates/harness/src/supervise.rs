@@ -1,0 +1,949 @@
+//! Sweep supervision: panic quarantine, deadlines, bounded retry, and a
+//! crash-resumable journal.
+//!
+//! The bare pool in [`crate::sweep`] treats a sweep as all-or-nothing: one
+//! panicking point tears the whole run down, a hung point hangs it
+//! forever, and a killed process restarts from zero. For the short sweeps
+//! of the paper that is fine; for the long fleet-style runs ROADMAP aims
+//! at it is not. This module wraps every point of a sweep in a supervisor
+//! that can
+//!
+//! * **quarantine** a panicking point ([`PanicPolicy::Quarantine`]) and
+//!   keep the rest of the grid running, surfacing the failure as a
+//!   [`PointOutcome::Panicked`] and an [`Incident`] instead of an abort
+//!   (`--strict` restores the abort-on-panic behaviour bit-for-bit);
+//! * enforce a **per-point deadline** via a watchdog thread and a
+//!   **sweep-level time budget**, so a pathological `(p, L)` point times
+//!   out ([`PointOutcome::TimedOut`]) or is skipped
+//!   ([`PointOutcome::Skipped`]) instead of hanging `run_all`;
+//! * **retry** transiently failing points a bounded number of times with
+//!   deterministic backoff — attempt 0 runs the point's own seed, attempt
+//!   `k > 0` runs `derive_seed(derive_seed(seed, index), k)`, so retried
+//!   output is still a pure function of the grid, never of wall clock;
+//! * **journal** completed points to disk (`results/.journal/`) in a
+//!   dependency-free text format, keyed by a stable fingerprint of the
+//!   [`SweepPoint`]; a killed run restarted with `--resume` replays
+//!   journaled points instead of recomputing them and produces
+//!   byte-identical CSVs.
+//!
+//! # Determinism
+//!
+//! Supervision never changes *values*, only *availability*. A point that
+//! completes produces exactly the outcome the bare pool would have
+//! produced: quarantine is `catch_unwind` around the same call, the
+//! watchdog runs the point on a dedicated thread with the same inputs,
+//! and replay restores the journaled measurements bit-for-bit (floats
+//! travel as IEEE-754 bit patterns, never through decimal). Wall-clock
+//! time decides only whether a point is *attempted*; it never flows into
+//! any result value — which is why this module carries the workspace's
+//! only sanctioned `Instant::now` suppressions.
+//!
+//! The journal stores the **measurement projection** of a
+//! [`RunOutcome`] — the scalar metrics and the observed dispatch curve,
+//! which is everything any sweep-shaped experiment reads and everything
+//! any CSV contains. The raw diagnostic `temp_series` (hundreds of
+//! thousands of samples per sweep) is deliberately not journaled; a
+//! replayed outcome carries an empty series whose name records the
+//! original sample count.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Duration;
+// simlint::allow(D1): the supervisor is the one sanctioned wall-clock
+// consumer — deadlines and budgets gate *whether* a point runs, and no
+// reading ever flows into a result value.
+use std::time::Instant;
+
+use dimetrodon_sim_core::{derive_seed, TimeSeries};
+
+use crate::runner::{characterize_on, RunOutcome};
+use crate::sweep::{parallel_map, SweepPoint};
+
+/// What the supervisor does when a point panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicPolicy {
+    /// Re-raise the panic and let the pool abort the sweep — today's
+    /// behaviour, selected by `--strict`.
+    Strict,
+    /// Catch the panic, retry if attempts remain, and otherwise record an
+    /// [`Incident`] and return [`PointOutcome::Panicked`].
+    Quarantine,
+}
+
+/// Configuration of the supervision layer, installed globally with
+/// [`install`] (the bench binaries and CLI build one from their flags)
+/// and consulted by [`crate::sweep::run_sweep`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisorConfig {
+    /// Panic handling; defaults to [`PanicPolicy::Quarantine`].
+    pub policy: PanicPolicy,
+    /// Wall-clock deadline for a single attempt of a single point; `None`
+    /// (the default) lets a point run forever.
+    pub point_deadline: Option<Duration>,
+    /// Wall-clock budget for a whole sweep: points whose *start* would
+    /// fall past the budget are skipped. `None` (the default) is
+    /// unbounded.
+    pub sweep_budget: Option<Duration>,
+    /// Extra attempts after a failed first one; retries re-run the point
+    /// with a seed derived from `(point seed, index, attempt)`.
+    pub retries: u32,
+    /// Directory for journal files (`results/.journal`); `None` disables
+    /// journaling entirely.
+    pub journal_dir: Option<PathBuf>,
+    /// Replay completed points from an existing journal (`--resume`).
+    /// When `false` a pre-existing journal for the sweep is truncated.
+    pub resume: bool,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            policy: PanicPolicy::Quarantine,
+            point_deadline: None,
+            sweep_budget: None,
+            retries: 0,
+            journal_dir: None,
+            resume: false,
+        }
+    }
+}
+
+/// The supervised result of one sweep point.
+#[derive(Debug, Clone)]
+pub enum PointOutcome {
+    /// The point completed (possibly after retries, possibly replayed
+    /// from the journal) with exactly the outcome the bare pool would
+    /// have produced.
+    Ok(RunOutcome),
+    /// Every attempt panicked; `msg` is the first attempt's payload.
+    Panicked {
+        /// The panic message of the first failed attempt.
+        msg: String,
+    },
+    /// Every attempt overran the per-point deadline.
+    TimedOut,
+    /// The sweep-level time budget was exhausted before the point
+    /// started.
+    Skipped,
+}
+
+impl PointOutcome {
+    /// Whether the point produced a real outcome.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, PointOutcome::Ok(_))
+    }
+
+    /// Collapses to a [`RunOutcome`]: real measurements for
+    /// [`PointOutcome::Ok`], the [`unavailable_outcome`] placeholder
+    /// (NaN temperatures, zero throughput) for every failure.
+    pub fn into_outcome(self) -> RunOutcome {
+        match self {
+            PointOutcome::Ok(outcome) => outcome,
+            _ => unavailable_outcome(),
+        }
+    }
+}
+
+/// The placeholder outcome a quarantined/timed-out/skipped point
+/// contributes to a sweep: NaN temperatures, zero throughput, an empty
+/// series, and no injected idles. Downstream reductions treat NaN rows
+/// as missing data.
+pub fn unavailable_outcome() -> RunOutcome {
+    RunOutcome {
+        idle_temp: f64::NAN,
+        tail_temp: f64::NAN,
+        throughput: 0.0,
+        temp_series: TimeSeries::new("unavailable"),
+        observed_curve: Vec::new(),
+        injected_idles: 0,
+    }
+}
+
+/// Why a point failed under supervision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncidentKind {
+    /// All attempts panicked and the point was quarantined.
+    Quarantined,
+    /// All attempts overran the per-point deadline.
+    TimedOut,
+    /// The sweep budget was exhausted before the point started.
+    Skipped,
+}
+
+/// A point failure recorded for end-of-run reporting: the bench binaries
+/// print incidents and exit nonzero when any occurred.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incident {
+    /// Hex fingerprint of the sweep the point belonged to.
+    pub sweep: String,
+    /// Index of the point within its sweep.
+    pub point: usize,
+    /// What went wrong.
+    pub kind: IncidentKind,
+    /// Attempts made (0 for a skipped point).
+    pub attempts: u32,
+    /// Human-readable detail (panic message for quarantines).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Incident {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            IncidentKind::Quarantined => write!(
+                f,
+                "sweep {} point {}: quarantined after {} attempt(s): {}",
+                self.sweep, self.point, self.attempts, self.detail
+            ),
+            IncidentKind::TimedOut => write!(
+                f,
+                "sweep {} point {}: timed out after {} attempt(s)",
+                self.sweep, self.point, self.attempts
+            ),
+            IncidentKind::Skipped => write!(
+                f,
+                "sweep {} point {}: skipped ({})",
+                self.sweep, self.point, self.detail
+            ),
+        }
+    }
+}
+
+/// The globally installed supervisor configuration, if any.
+static CONFIG: Mutex<Option<SupervisorConfig>> = Mutex::new(None);
+/// Incidents accumulated across every supervised sweep in this process.
+static INCIDENTS: Mutex<Vec<Incident>> = Mutex::new(Vec::new());
+/// Points replayed from journals instead of recomputed.
+static REPLAYED: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs `config` as the process-wide supervisor;
+/// [`crate::sweep::run_sweep`] consults it on every call.
+pub fn install(config: SupervisorConfig) {
+    *CONFIG.lock().unwrap_or_else(|e| e.into_inner()) = Some(config);
+}
+
+/// Removes the installed supervisor; sweeps revert to the bare pool.
+pub fn clear() {
+    *CONFIG.lock().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// The currently installed supervisor configuration, if any.
+pub fn installed() -> Option<SupervisorConfig> {
+    CONFIG.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Drains the incidents recorded since the last call (or process start).
+pub fn take_incidents() -> Vec<Incident> {
+    std::mem::take(&mut *INCIDENTS.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// Drains the count of points replayed from journals since the last call.
+pub fn take_replayed() -> usize {
+    REPLAYED.swap(0, Ordering::Relaxed)
+}
+
+fn record_incident(incident: Incident) {
+    INCIDENTS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(incident);
+}
+
+// --- Fingerprints -------------------------------------------------------
+
+/// FNV-1a 64-bit over a byte slice: tiny, dependency-free, and stable
+/// across runs and platforms.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A stable fingerprint of one sweep point: FNV-1a64 over its exhaustive
+/// `Debug` rendering (machine, workload, actuation, run config, seed).
+/// Two points fingerprint equal exactly when they describe the same
+/// computation, in which case their outcomes are interchangeable.
+pub fn fingerprint_point(point: &SweepPoint) -> u64 {
+    fnv1a64(format!("{point:?}").as_bytes())
+}
+
+/// A stable fingerprint of a whole sweep (order-sensitive), used to name
+/// the sweep's journal file.
+pub fn fingerprint_sweep(points: &[SweepPoint]) -> u64 {
+    let mut text = String::new();
+    for point in points {
+        text.push_str(&format!("{point:?}"));
+        text.push('\n');
+    }
+    fnv1a64(text.as_bytes())
+}
+
+// --- Journal format -----------------------------------------------------
+//
+// One text line per completed point, whitespace-separated, floats as
+// 16-hex-digit IEEE-754 bit patterns (exact round-trip, no decimal):
+//
+//   point <fp> <idle> <tail> <throughput> <idles> <name-hex> <series-len>
+//         <curve-len> <t:v,t:v,...|->
+//
+// Lines starting with `#` are comments; a truncated final line (the
+// process was SIGKILLed mid-write) fails to decode and is ignored.
+
+/// Serializes one completed point as a single journal line (no trailing
+/// newline). Exposed for the journal property tests.
+pub fn encode_entry(fingerprint: u64, outcome: &RunOutcome) -> String {
+    let mut name_hex = String::with_capacity(2 + outcome.temp_series.name().len() * 2);
+    name_hex.push('n');
+    for b in outcome.temp_series.name().bytes() {
+        name_hex.push_str(&format!("{b:02x}"));
+    }
+    let mut curve = String::with_capacity(outcome.observed_curve.len() * 34);
+    for (i, (t, v)) in outcome.observed_curve.iter().enumerate() {
+        if i > 0 {
+            curve.push(',');
+        }
+        curve.push_str(&format!("{:016x}:{:016x}", t.to_bits(), v.to_bits()));
+    }
+    if curve.is_empty() {
+        curve.push('-');
+    }
+    format!(
+        "point {:016x} {:016x} {:016x} {:016x} {} {} {} {} {}",
+        fingerprint,
+        outcome.idle_temp.to_bits(),
+        outcome.tail_temp.to_bits(),
+        outcome.throughput.to_bits(),
+        outcome.injected_idles,
+        name_hex,
+        outcome.temp_series.len(),
+        outcome.observed_curve.len(),
+        curve,
+    )
+}
+
+/// Parses a full-width (16-digit) hex `u64`. The fixed width is what
+/// makes SIGKILL truncation detectable: a bit pattern cut short never
+/// parses, so a partial final line is dropped instead of misread.
+fn parse_hex_u64(token: &str) -> Option<u64> {
+    if token.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(token, 16).ok()
+}
+
+fn parse_finite_f64(token: &str) -> Option<f64> {
+    let value = f64::from_bits(parse_hex_u64(token)?);
+    value.is_finite().then_some(value)
+}
+
+fn decode_name(token: &str) -> Option<String> {
+    let hex = token.strip_prefix('n')?;
+    if hex.len() % 2 != 0 {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(hex.len() / 2);
+    for i in (0..hex.len()).step_by(2) {
+        bytes.push(u8::from_str_radix(&hex[i..i + 2], 16).ok()?);
+    }
+    String::from_utf8(bytes).ok()
+}
+
+/// Parses one journal line back into `(fingerprint, outcome)`. Returns
+/// `None` for comments, blanks, and malformed or truncated lines — a
+/// journal whose final line was cut short by SIGKILL simply loses that
+/// one point. Exposed for the journal property tests.
+pub fn decode_entry(line: &str) -> Option<(u64, RunOutcome)> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if tokens.len() != 10 || tokens[0] != "point" {
+        return None;
+    }
+    let fingerprint = parse_hex_u64(tokens[1])?;
+    let idle_temp = parse_finite_f64(tokens[2])?;
+    let tail_temp = parse_finite_f64(tokens[3])?;
+    let throughput = parse_finite_f64(tokens[4])?;
+    let injected_idles: u64 = tokens[5].parse().ok()?;
+    let name = decode_name(tokens[6])?;
+    let series_len: usize = tokens[7].parse().ok()?;
+    let curve_len: usize = tokens[8].parse().ok()?;
+    let mut observed_curve = Vec::with_capacity(curve_len);
+    if curve_len > 0 {
+        for pair in tokens[9].split(',') {
+            let (t, v) = pair.split_once(':')?;
+            observed_curve.push((parse_finite_f64(t)?, parse_finite_f64(v)?));
+        }
+    } else if tokens[9] != "-" {
+        return None;
+    }
+    if observed_curve.len() != curve_len {
+        return None;
+    }
+    // The raw series is not journaled (see module docs): a replayed
+    // outcome carries an empty series whose name records the original
+    // name and sample count for diagnostics.
+    let temp_series = TimeSeries::new(format!("replayed:{name}:{series_len}"));
+    Some((
+        fingerprint,
+        RunOutcome {
+            idle_temp,
+            tail_temp,
+            throughput,
+            temp_series,
+            observed_curve,
+            injected_idles,
+        },
+    ))
+}
+
+/// The journal file path for a sweep inside `dir`.
+pub fn journal_path(dir: &Path, sweep_fingerprint: u64) -> PathBuf {
+    dir.join(format!("sweep-{sweep_fingerprint:016x}.journal"))
+}
+
+/// Loads every decodable entry of a journal file; keyed by point
+/// fingerprint, later entries win. A missing file is an empty journal.
+fn load_journal(path: &Path) -> std::collections::BTreeMap<u64, RunOutcome> {
+    let mut replayed = std::collections::BTreeMap::new();
+    if let Ok(text) = std::fs::read_to_string(path) {
+        for line in text.lines() {
+            if let Some((fingerprint, outcome)) = decode_entry(line) {
+                replayed.insert(fingerprint, outcome);
+            }
+        }
+    }
+    replayed
+}
+
+/// Opens the journal for appending (resume) or truncated fresh (normal
+/// run). Returns `None`, with a warning, if the directory or file cannot
+/// be created — the sweep still runs, just without crash resumability.
+fn open_journal(path: &Path, resume: bool, points: usize, sweep: u64) -> Option<File> {
+    if let Some(dir) = path.parent() {
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create journal dir {}: {err}", dir.display());
+            return None;
+        }
+    }
+    let fresh = !resume || !path.exists();
+    // A SIGKILL mid-write leaves a torn final line with no newline;
+    // terminate it before appending so the next entry starts clean
+    // instead of merging into (and corrupting) the fragment.
+    let torn_tail = resume
+        && std::fs::read(path).is_ok_and(|bytes| bytes.last().is_some_and(|&b| b != b'\n'));
+    let opened = if resume {
+        OpenOptions::new().create(true).append(true).open(path)
+    } else {
+        File::create(path)
+    };
+    match opened {
+        Ok(mut file) => {
+            if torn_tail {
+                if let Err(err) = file.write_all(b"\n") {
+                    eprintln!("warning: journal write failed ({err}); journaling disabled");
+                    return None;
+                }
+            }
+            if fresh {
+                let header =
+                    format!("# dimetrodon sweep journal v1 sweep {sweep:016x} points {points}\n");
+                if let Err(err) = file.write_all(header.as_bytes()) {
+                    eprintln!("warning: journal write failed ({err}); journaling disabled");
+                    return None;
+                }
+            }
+            Some(file)
+        }
+        Err(err) => {
+            eprintln!(
+                "warning: cannot open journal {}: {err}; journaling disabled",
+                path.display()
+            );
+            None
+        }
+    }
+}
+
+/// Appends one completed point to the journal and flushes, so a SIGKILL
+/// can lose at most the line being written.
+fn journal_append(journal: &Mutex<Option<File>>, entry: &str) {
+    let mut guard = journal.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(file) = guard.as_mut() {
+        let mut line = String::with_capacity(entry.len() + 1);
+        line.push_str(entry);
+        line.push('\n');
+        let ok = file.write_all(line.as_bytes()).and_then(|()| file.flush());
+        if let Err(err) = ok {
+            eprintln!("warning: journal write failed ({err}); journaling disabled");
+            *guard = None;
+        }
+    }
+}
+
+// --- Supervised execution ----------------------------------------------
+
+/// How one attempt of one point ended, internally.
+enum AttemptError {
+    Panicked(String),
+    TimedOut,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The point as attempt `attempt` runs it: attempt 0 is the grid's own
+/// point, later attempts re-derive the seed from `(seed, index, attempt)`
+/// so retried output stays a pure function of the grid.
+fn attempt_point(point: &SweepPoint, index: usize, attempt: u32) -> SweepPoint {
+    if attempt == 0 {
+        return point.clone();
+    }
+    let mut retried = point.clone();
+    retried.config.seed = derive_seed(
+        derive_seed(point.config.seed, index as u64),
+        u64::from(attempt),
+    );
+    retried
+}
+
+/// Deterministic retry backoff: linear in the attempt number, capped.
+/// The delay only spaces out attempts; it never influences results.
+fn retry_backoff(attempt: u32) -> Duration {
+    Duration::from_millis(u64::from(attempt.min(10)) * 25)
+}
+
+/// Runs one attempt of one point, honouring the deadline and the panic
+/// policy. Under [`PanicPolicy::Strict`] a panic propagates out of this
+/// function (and poisons the pool) exactly as it would without
+/// supervision.
+fn run_attempt(
+    point: &SweepPoint,
+    index: usize,
+    attempt: u32,
+    config: &SupervisorConfig,
+) -> Result<RunOutcome, AttemptError> {
+    let prepared = attempt_point(point, index, attempt);
+    let run = move || {
+        characterize_on(
+            &prepared.machine,
+            prepared.workload,
+            prepared.actuation,
+            prepared.config,
+        )
+    };
+    match config.point_deadline {
+        None => {
+            if config.policy == PanicPolicy::Strict {
+                return Ok(run());
+            }
+            std::panic::catch_unwind(AssertUnwindSafe(run))
+                .map_err(|payload| AttemptError::Panicked(panic_message(payload.as_ref())))
+        }
+        Some(deadline) => {
+            let (tx, rx) = mpsc::channel();
+            let spawned = std::thread::Builder::new()
+                .name(format!("sweep-watchdog-{index}-{attempt}"))
+                .spawn(move || {
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(run));
+                    // simlint::allow(R2): if the watchdog already gave up
+                    // on this attempt the receiver is gone and the result
+                    // is intentionally dropped with the thread.
+                    let _ = tx.send(result);
+                });
+            let handle = match spawned {
+                Ok(handle) => handle,
+                Err(err) => {
+                    return Err(AttemptError::Panicked(format!(
+                        "could not spawn watchdog thread: {err}"
+                    )))
+                }
+            };
+            match rx.recv_timeout(deadline) {
+                Ok(Ok(outcome)) => {
+                    // The attempt finished; the thread is done or moments
+                    // from it — joining cannot block meaningfully.
+                    drop(handle.join());
+                    Ok(outcome)
+                }
+                Ok(Err(payload)) => {
+                    drop(handle.join());
+                    if config.policy == PanicPolicy::Strict {
+                        std::panic::resume_unwind(payload);
+                    }
+                    Err(AttemptError::Panicked(panic_message(payload.as_ref())))
+                }
+                Err(_) => {
+                    // Deadline passed: abandon the attempt. The detached
+                    // thread finishes (or hangs) on its own and its send
+                    // fails harmlessly into a dropped channel.
+                    drop(handle);
+                    Err(AttemptError::TimedOut)
+                }
+            }
+        }
+    }
+}
+
+/// Runs one point under full supervision: bounded retries around
+/// [`run_attempt`], incident recording, and journaling of success.
+fn supervise_point(
+    point: &SweepPoint,
+    index: usize,
+    fingerprint: u64,
+    sweep_label: &str,
+    config: &SupervisorConfig,
+    journal: &Mutex<Option<File>>,
+) -> PointOutcome {
+    let mut first_error: Option<AttemptError> = None;
+    for attempt in 0..=config.retries {
+        if attempt > 0 {
+            std::thread::sleep(retry_backoff(attempt));
+        }
+        match run_attempt(point, index, attempt, config) {
+            Ok(outcome) => {
+                journal_append(journal, &encode_entry(fingerprint, &outcome));
+                return PointOutcome::Ok(outcome);
+            }
+            Err(error) => {
+                first_error.get_or_insert(error);
+            }
+        }
+    }
+    let attempts = config.retries + 1;
+    match first_error {
+        Some(AttemptError::Panicked(msg)) => {
+            record_incident(Incident {
+                sweep: sweep_label.to_string(),
+                point: index,
+                kind: IncidentKind::Quarantined,
+                attempts,
+                detail: msg.clone(),
+            });
+            PointOutcome::Panicked { msg }
+        }
+        Some(AttemptError::TimedOut) | None => {
+            record_incident(Incident {
+                sweep: sweep_label.to_string(),
+                point: index,
+                kind: IncidentKind::TimedOut,
+                attempts,
+                detail: String::new(),
+            });
+            PointOutcome::TimedOut
+        }
+    }
+}
+
+/// Runs a sweep under the supervision layer: journal replay, per-point
+/// quarantine/deadline/retry, and the sweep time budget. Outcomes come
+/// back in point order; callers wanting plain [`RunOutcome`]s collapse
+/// them with [`PointOutcome::into_outcome`].
+pub fn run_supervised(points: &[SweepPoint], config: &SupervisorConfig) -> Vec<PointOutcome> {
+    let sweep = fingerprint_sweep(points);
+    let sweep_label = format!("{sweep:016x}");
+    let mut replayed = std::collections::BTreeMap::new();
+    let journal = match &config.journal_dir {
+        Some(dir) => {
+            let path = journal_path(dir, sweep);
+            if config.resume {
+                replayed = load_journal(&path);
+            }
+            Mutex::new(open_journal(&path, config.resume, points.len(), sweep))
+        }
+        None => Mutex::new(None),
+    };
+    // simlint::allow(D1): the budget clock gates whether points start; it
+    // never flows into results.
+    let start = Instant::now();
+    parallel_map(points.len(), |index| {
+        let point = &points[index];
+        let fingerprint = fingerprint_point(point);
+        if let Some(outcome) = replayed.get(&fingerprint) {
+            REPLAYED.fetch_add(1, Ordering::Relaxed);
+            return PointOutcome::Ok(outcome.clone());
+        }
+        if let Some(budget) = config.sweep_budget {
+            // simlint::allow(D1): see module docs — budget check only.
+            if start.elapsed() >= budget {
+                record_incident(Incident {
+                    sweep: sweep_label.clone(),
+                    point: index,
+                    kind: IncidentKind::Skipped,
+                    attempts: 0,
+                    detail: "sweep time budget exhausted".to_string(),
+                });
+                return PointOutcome::Skipped;
+            }
+        }
+        supervise_point(point, index, fingerprint, &sweep_label, config, &journal)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{Actuation, RunConfig, SaturatingWorkload};
+    use dimetrodon_machine::MachineConfig;
+    use dimetrodon_sim_core::SimDuration;
+
+    fn tiny_config(seed: u64) -> RunConfig {
+        RunConfig {
+            duration: SimDuration::from_secs(2),
+            measure_window: SimDuration::from_secs(1),
+            seed,
+        }
+    }
+
+    fn tiny_point(seed: u64) -> SweepPoint {
+        SweepPoint::new(SaturatingWorkload::CpuBurn, Actuation::None, tiny_config(seed))
+    }
+
+    /// A point whose machine config is invalid, so `build_system_on`
+    /// panics deterministically.
+    fn poisoned_point(seed: u64) -> SweepPoint {
+        let mut machine = MachineConfig::xeon_e5520();
+        machine.num_cores = 0;
+        SweepPoint::on(
+            machine,
+            SaturatingWorkload::CpuBurn,
+            Actuation::None,
+            tiny_config(seed),
+        )
+    }
+
+    #[test]
+    fn entry_round_trips_exactly() {
+        let outcome = RunOutcome {
+            idle_temp: 48.125,
+            tail_temp: 71.0625,
+            throughput: 0.87312,
+            temp_series: TimeSeries::new("mean_temp"),
+            observed_curve: vec![(0.0, 48.5), (1.0, 50.25), (2.0, 51.125)],
+            injected_idles: 42,
+        };
+        let line = encode_entry(0xdead_beef_0123_4567, &outcome);
+        let (fp, decoded) = decode_entry(&line).unwrap();
+        assert_eq!(fp, 0xdead_beef_0123_4567);
+        assert_eq!(decoded.idle_temp.to_bits(), outcome.idle_temp.to_bits());
+        assert_eq!(decoded.tail_temp.to_bits(), outcome.tail_temp.to_bits());
+        assert_eq!(decoded.throughput.to_bits(), outcome.throughput.to_bits());
+        assert_eq!(decoded.observed_curve, outcome.observed_curve);
+        assert_eq!(decoded.injected_idles, 42);
+        // Re-encoding the decoded outcome is byte-stable apart from the
+        // series name (which records the replay provenance).
+        let reencoded = encode_entry(fp, &decoded);
+        let tail = |s: &str| {
+            s.split_whitespace()
+                .enumerate()
+                .filter(|(i, _)| *i != 6)
+                .map(|(_, t)| t.to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(tail(&reencoded), tail(&line));
+    }
+
+    #[test]
+    fn truncated_and_malformed_lines_are_ignored() {
+        assert!(decode_entry("").is_none());
+        assert!(decode_entry("# comment").is_none());
+        assert!(decode_entry("point 0123").is_none());
+        let outcome = unavailable_outcome();
+        // NaN metrics never reach the journal, and decode rejects them.
+        let line = encode_entry(1, &outcome);
+        assert!(decode_entry(&line).is_none());
+        let good = encode_entry(
+            7,
+            &RunOutcome {
+                idle_temp: 1.0,
+                tail_temp: 2.0,
+                throughput: 0.5,
+                temp_series: TimeSeries::new("s"),
+                observed_curve: vec![(0.0, 1.5)],
+                injected_idles: 0,
+            },
+        );
+        assert!(decode_entry(&good).is_some());
+        // Every strict prefix (a SIGKILL mid-write) fails cleanly: tokens
+        // are fixed-width, so a cut bit pattern never parses.
+        for cut in 0..good.len() {
+            assert!(
+                decode_entry(&good[..cut]).is_none(),
+                "prefix of length {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprints_distinguish_points_and_track_equality() {
+        let a = tiny_point(1);
+        let b = tiny_point(2);
+        assert_ne!(fingerprint_point(&a), fingerprint_point(&b));
+        assert_eq!(fingerprint_point(&a), fingerprint_point(&a.clone()));
+        assert_ne!(
+            fingerprint_sweep(&[a.clone(), b.clone()]),
+            fingerprint_sweep(&[b, a])
+        );
+    }
+
+    #[test]
+    fn quarantine_survives_a_panicking_point() {
+        let points = vec![tiny_point(1), poisoned_point(2), tiny_point(3)];
+        let config = SupervisorConfig::default();
+        let outcomes = run_supervised(&points, &config);
+        assert!(outcomes[0].is_ok());
+        assert!(matches!(outcomes[1], PointOutcome::Panicked { .. }));
+        assert!(outcomes[2].is_ok());
+        let incidents = take_incidents();
+        let ours: Vec<_> = incidents
+            .iter()
+            .filter(|i| i.kind == IncidentKind::Quarantined && i.point == 1)
+            .collect();
+        assert!(!ours.is_empty(), "quarantine must be recorded");
+        assert!(ours[0].detail.contains("machine config is valid"));
+    }
+
+    #[test]
+    fn strict_policy_aborts_like_the_bare_pool() {
+        let points = vec![tiny_point(1), poisoned_point(2)];
+        let config = SupervisorConfig {
+            policy: PanicPolicy::Strict,
+            ..SupervisorConfig::default()
+        };
+        let result =
+            std::panic::catch_unwind(AssertUnwindSafe(|| run_supervised(&points, &config)));
+        assert!(result.is_err(), "strict mode must re-raise the panic");
+    }
+
+    #[test]
+    fn retries_use_derived_seeds_and_give_up_deterministically() {
+        let points = vec![poisoned_point(9)];
+        let config = SupervisorConfig {
+            retries: 2,
+            ..SupervisorConfig::default()
+        };
+        let outcomes = run_supervised(&points, &config);
+        assert!(matches!(outcomes[0], PointOutcome::Panicked { .. }));
+        let incident = take_incidents()
+            .into_iter()
+            .find(|i| i.kind == IncidentKind::Quarantined)
+            .expect("incident recorded");
+        assert_eq!(incident.attempts, 3);
+        // The retried point differs only in seed, derived from the grid.
+        let retried = attempt_point(&points[0], 0, 1);
+        assert_eq!(
+            retried.config.seed,
+            derive_seed(derive_seed(points[0].config.seed, 0), 1)
+        );
+        assert_eq!(attempt_point(&points[0], 0, 0), points[0]);
+    }
+
+    #[test]
+    fn deadline_times_a_point_out_without_hanging() {
+        // The point must be slow enough that it cannot finish before the
+        // watchdog starts waiting (a tiny point under parallel-test CPU
+        // contention can beat even a nanosecond recv_timeout): a
+        // half-hour simulated run takes on the order of a second of wall
+        // clock, against a 10 ms deadline.
+        let slow = RunConfig {
+            duration: SimDuration::from_secs(1800),
+            measure_window: SimDuration::from_secs(1),
+            seed: 4,
+        };
+        let points = vec![SweepPoint::new(
+            SaturatingWorkload::CpuBurn,
+            Actuation::None,
+            slow,
+        )];
+        let config = SupervisorConfig {
+            point_deadline: Some(Duration::from_millis(10)),
+            ..SupervisorConfig::default()
+        };
+        let outcomes = run_supervised(&points, &config);
+        assert!(matches!(outcomes[0], PointOutcome::TimedOut));
+        drop(take_incidents());
+    }
+
+    #[test]
+    fn sweep_budget_skips_remaining_points() {
+        let points: Vec<_> = (0..4).map(tiny_point).collect();
+        let config = SupervisorConfig {
+            sweep_budget: Some(Duration::ZERO),
+            ..SupervisorConfig::default()
+        };
+        let outcomes = run_supervised(&points, &config);
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, PointOutcome::Skipped)));
+        drop(take_incidents());
+    }
+
+    #[test]
+    fn journal_replay_restores_measurements_bit_for_bit() {
+        let dir = std::env::temp_dir().join(format!(
+            "dimetrodon-journal-test-{}",
+            std::process::id()
+        ));
+        let points = vec![tiny_point(11), tiny_point(12)];
+        let config = SupervisorConfig {
+            journal_dir: Some(dir.clone()),
+            ..SupervisorConfig::default()
+        };
+        let fresh = run_supervised(&points, &config);
+        let resumed = run_supervised(
+            &points,
+            &SupervisorConfig {
+                resume: true,
+                ..config
+            },
+        );
+        assert_eq!(take_replayed(), 2, "both points must replay");
+        for (a, b) in fresh.iter().zip(&resumed) {
+            let (PointOutcome::Ok(a), PointOutcome::Ok(b)) = (a, b) else {
+                panic!("all points complete");
+            };
+            assert_eq!(a.idle_temp.to_bits(), b.idle_temp.to_bits());
+            assert_eq!(a.tail_temp.to_bits(), b.tail_temp.to_bits());
+            assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+            assert_eq!(a.observed_curve, b.observed_curve);
+            assert_eq!(a.injected_idles, b.injected_idles);
+        }
+        drop(std::fs::remove_dir_all(&dir));
+    }
+
+    #[test]
+    fn without_resume_an_existing_journal_is_truncated() {
+        let dir = std::env::temp_dir().join(format!(
+            "dimetrodon-journal-trunc-{}",
+            std::process::id()
+        ));
+        let points = vec![tiny_point(21)];
+        let config = SupervisorConfig {
+            journal_dir: Some(dir.clone()),
+            ..SupervisorConfig::default()
+        };
+        drop(run_supervised(&points, &config));
+        drop(run_supervised(&points, &config));
+        assert_eq!(take_replayed(), 0, "fresh runs never replay");
+        let text = std::fs::read_to_string(journal_path(&dir, fingerprint_sweep(&points)))
+            .expect("journal written");
+        let entries = text.lines().filter(|l| l.starts_with("point")).count();
+        assert_eq!(entries, 1, "truncation must discard the first run");
+        drop(std::fs::remove_dir_all(&dir));
+    }
+}

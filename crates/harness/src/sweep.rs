@@ -16,7 +16,16 @@
 //! The pool is `std::thread::scope` plus a shared atomic work index — no
 //! runtime dependencies. Worker count defaults to
 //! [`std::thread::available_parallelism`] and can be overridden globally
-//! with [`set_jobs`] (the `--jobs N` flag of the bench binaries and CLI).
+//! with [`set_jobs`] (the `--jobs N` flag of the bench binaries and CLI),
+//! or per-call with [`parallel_map_with`] (which is what tests use, so a
+//! concurrently running test can never flip another sweep's worker count
+//! through the shared global).
+//!
+//! If a point panics, the pool stops claiming new indices immediately
+//! (a poisoned flag checked in the claim loop) and the first panic payload
+//! is re-raised at join — the rest of the grid is not burned first. Sweeps
+//! that need to *survive* a panicking point instead of aborting run under
+//! the [`supervise`](crate::supervise) layer, which [`run_sweep`] consults.
 //!
 //! # Examples
 //!
@@ -27,11 +36,14 @@
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use dimetrodon_machine::MachineConfig;
 
 use crate::runner::{characterize_on, Actuation, RunConfig, RunOutcome, SaturatingWorkload};
+use crate::supervise;
 
 pub use dimetrodon_sim_core::derive_seed;
 
@@ -61,18 +73,42 @@ pub fn jobs() -> usize {
 ///
 /// # Panics
 ///
-/// Panics if any invocation of `f` panics (the panic is propagated).
+/// Panics if any invocation of `f` panics (the first panic is propagated,
+/// and no further indices are dispatched once one worker has panicked).
 pub fn parallel_map<T, F>(count: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = jobs().min(count.max(1));
+    parallel_map_with(jobs(), count, f)
+}
+
+/// [`parallel_map`] with an explicit worker count instead of the global
+/// [`set_jobs`] override.
+///
+/// This is the entry point tests use: worker count is a parameter of the
+/// call, so concurrently running tests cannot flip each other's pool
+/// sizes through the shared `JOBS` atomic mid-sweep.
+///
+/// # Panics
+///
+/// Panics if any invocation of `f` panics (the first panic is propagated,
+/// and no further indices are dispatched once one worker has panicked).
+pub fn parallel_map_with<T, F>(workers: usize, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1).min(count.max(1));
     if workers <= 1 || count <= 1 {
         return (0..count).map(f).collect();
     }
 
     let next = AtomicUsize::new(0);
+    // Set by the first worker whose point panics; checked in the claim
+    // loop so the remaining grid is not burned before the panic surfaces.
+    let poisoned = AtomicBool::new(false);
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     let mut slots: Vec<Option<T>> = Vec::with_capacity(count);
     slots.resize_with(count, || None);
 
@@ -82,26 +118,53 @@ where
                 scope.spawn(|| {
                     let mut produced = Vec::new();
                     loop {
+                        if poisoned.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let index = next.fetch_add(1, Ordering::Relaxed);
                         if index >= count {
                             break;
                         }
-                        produced.push((index, f(index)));
+                        match std::panic::catch_unwind(AssertUnwindSafe(|| f(index))) {
+                            Ok(value) => produced.push((index, value)),
+                            Err(payload) => {
+                                poisoned.store(true, Ordering::Relaxed);
+                                let mut slot =
+                                    first_panic.lock().unwrap_or_else(|e| e.into_inner());
+                                if slot.is_none() {
+                                    *slot = Some(payload);
+                                }
+                                break;
+                            }
+                        }
                     }
                     produced
                 })
             })
             .collect();
         for handle in handles {
-            let produced = match handle.join() {
-                Ok(produced) => produced,
-                Err(payload) => std::panic::resume_unwind(payload),
-            };
-            for (index, value) in produced {
-                slots[index] = Some(value);
+            // Workers catch their own panics, so join can only fail on a
+            // panic *between* points (allocator/unwind machinery); treat it
+            // like a point panic.
+            match handle.join() {
+                Ok(produced) => {
+                    for (index, value) in produced {
+                        slots[index] = Some(value);
+                    }
+                }
+                Err(payload) => {
+                    let mut slot = first_panic.lock().unwrap_or_else(|e| e.into_inner());
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
             }
         }
     });
+
+    if let Some(payload) = first_panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        std::panic::resume_unwind(payload);
+    }
 
     slots
         .into_iter()
@@ -155,11 +218,28 @@ impl SweepPoint {
 
 /// Runs every point's characterisation across the worker pool, returning
 /// outcomes in point order.
+///
+/// When a [`supervise::SupervisorConfig`] is installed (the bench binaries
+/// and CLI install one from their flags), each point runs under the
+/// supervision layer: panics are quarantined instead of aborting the
+/// sweep, points can carry deadlines and bounded retries, and completed
+/// points are journaled to disk so an interrupted run resumes without
+/// recomputation. Failed points surface as
+/// [`supervise::unavailable_outcome`] placeholders (NaN temperatures,
+/// zero throughput) and are recorded as incidents for the caller to
+/// report. With no supervisor installed this is exactly the bare pool:
+/// a panic propagates and tears the sweep down.
 pub fn run_sweep(points: &[SweepPoint]) -> Vec<RunOutcome> {
-    parallel_map(points.len(), |i| {
-        let point = &points[i];
-        characterize_on(&point.machine, point.workload, point.actuation, point.config)
-    })
+    match supervise::installed() {
+        Some(config) => supervise::run_supervised(points, &config)
+            .into_iter()
+            .map(supervise::PointOutcome::into_outcome)
+            .collect(),
+        None => parallel_map(points.len(), |i| {
+            let point = &points[i];
+            characterize_on(&point.machine, point.workload, point.actuation, point.config)
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -186,13 +266,14 @@ mod tests {
 
     #[test]
     fn worker_count_does_not_change_values() {
+        // Worker count is threaded explicitly through the pool, so this
+        // test cannot race with the global `JOBS` override (and cannot
+        // perturb any concurrently running sweep by mutating it).
         let reference: Vec<u64> = (0..40).map(|i| derive_seed(99, i)).collect();
         for jobs in [1, 2, 3, 7] {
-            set_jobs(jobs);
-            let values = parallel_map(40, |i| derive_seed(99, i as u64));
+            let values = parallel_map_with(jobs, 40, |i| derive_seed(99, i as u64));
             assert_eq!(values, reference, "jobs = {jobs}");
         }
-        set_jobs(0);
     }
 
     #[test]
@@ -200,14 +281,14 @@ mod tests {
         use std::sync::atomic::AtomicUsize;
         static PEAK: AtomicUsize = AtomicUsize::new(0);
         static LIVE: AtomicUsize = AtomicUsize::new(0);
-        set_jobs(4);
-        parallel_map(16, |_| {
+        // An explicit worker count: a concurrent test changing the global
+        // override cannot reduce this pool to one worker mid-flight.
+        parallel_map_with(4, 16, |_| {
             let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
             PEAK.fetch_max(live, Ordering::SeqCst);
             std::thread::sleep(std::time::Duration::from_millis(5));
             LIVE.fetch_sub(1, Ordering::SeqCst);
         });
-        set_jobs(0);
         assert!(
             PEAK.load(Ordering::SeqCst) > 1,
             "expected overlapping workers, peak {}",
@@ -216,21 +297,53 @@ mod tests {
     }
 
     #[test]
+    fn global_jobs_override_round_trips() {
+        set_jobs(3);
+        assert_eq!(jobs(), 3);
+        set_jobs(0);
+        assert!(jobs() >= 1, "auto resolves to at least one worker");
+    }
+
+    #[test]
     #[should_panic(expected = "sweep point panicked")]
     fn worker_panics_propagate() {
-        set_jobs(2);
         let result = std::panic::catch_unwind(|| {
-            parallel_map(8, |i| {
+            parallel_map_with(2, 8, |i| {
                 if i == 5 {
                     panic!("sweep point panicked");
                 }
                 i
             })
         });
-        set_jobs(0);
         match result {
             Ok(_) => {}
             Err(payload) => std::panic::resume_unwind(payload),
         }
+    }
+
+    #[test]
+    fn panic_poisons_the_claim_loop() {
+        use std::sync::atomic::AtomicUsize;
+        // One worker panics on the very first index while the other
+        // workers are briefly held; once the poison flag is up, the pool
+        // must stop claiming fresh indices instead of burning the whole
+        // grid before the join.
+        let executed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            parallel_map_with(2, 1024, |i| {
+                executed.fetch_add(1, Ordering::SeqCst);
+                if i == 0 {
+                    panic!("poison");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                i
+            })
+        }));
+        assert!(result.is_err(), "panic must still propagate");
+        let ran = executed.load(Ordering::SeqCst);
+        assert!(
+            ran < 1024,
+            "claim loop kept dispatching the whole grid after a panic ({ran} points ran)"
+        );
     }
 }

@@ -1,0 +1,320 @@
+//! Property tests for the sweep supervisor (`harness::supervise`):
+//!
+//! * the journal encoding preserves the measurement projection of a
+//!   [`RunOutcome`] bit-for-bit across arbitrary re-serialization cycles,
+//!   and point fingerprints are a pure function of the point's fields;
+//! * a run killed after *any* k of n journal entries — including a torn
+//!   final line, as a SIGKILL mid-write leaves behind — resumes with
+//!   `--resume` to outcomes bit-identical to an uninterrupted run, at
+//!   every worker count;
+//! * a chaos grid poisoning an intensity-controlled fraction of points
+//!   (the robustness experiment's intensity knob turned on the harness
+//!   itself) quarantines exactly the poisoned points and leaves every
+//!   healthy point's measurements untouched.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use dimetrodon_harness::supervise::{
+    decode_entry, encode_entry, fingerprint_point, fingerprint_sweep, journal_path,
+    run_supervised, take_incidents, take_replayed, IncidentKind, PointOutcome, SupervisorConfig,
+};
+use dimetrodon_harness::sweep::{set_jobs, SweepPoint};
+use dimetrodon_harness::{Actuation, RunConfig, RunOutcome, SaturatingWorkload};
+use dimetrodon_sim_core::{derive_seed, SimDuration, SimTime, TimeSeries};
+use proptest::prelude::*;
+
+/// Tests that run sweeps share the process-global supervisor and jobs
+/// state; serialize them so worker-count assertions stay meaningful.
+static SWEEP_LOCK: Mutex<()> = Mutex::new(());
+
+fn tiny_config(seed: u64) -> RunConfig {
+    RunConfig {
+        duration: SimDuration::from_secs(2),
+        measure_window: SimDuration::from_secs(1),
+        seed,
+    }
+}
+
+fn tiny_point(seed: u64) -> SweepPoint {
+    SweepPoint::new(SaturatingWorkload::CpuBurn, Actuation::None, tiny_config(seed))
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dimetrodon-supervise-prop-{}-{tag}", std::process::id()))
+}
+
+/// Bit-level equality of everything the journal preserves — which is
+/// everything any sweep consumer reads: the scalar metrics, the injected
+/// idle count, and the full observed dispatch curve.
+fn same_measurements(a: &RunOutcome, b: &RunOutcome) -> bool {
+    a.idle_temp.to_bits() == b.idle_temp.to_bits()
+        && a.tail_temp.to_bits() == b.tail_temp.to_bits()
+        && a.throughput.to_bits() == b.throughput.to_bits()
+        && a.injected_idles == b.injected_idles
+        && a.observed_curve.len() == b.observed_curve.len()
+        && a
+            .observed_curve
+            .iter()
+            .zip(&b.observed_curve)
+            .all(|((ta, va), (tb, vb))| ta.to_bits() == tb.to_bits() && va.to_bits() == vb.to_bits())
+}
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1.0e9..1.0e9,
+        -1.0e-12..1.0e-12,
+        Just(0.0),
+        Just(-0.0),
+        Just(316.41948),
+    ]
+}
+
+fn outcome_strategy() -> impl Strategy<Value = RunOutcome> {
+    (
+        finite_f64(),
+        finite_f64(),
+        finite_f64(),
+        any::<u64>(),
+        prop::collection::vec(32u8..127u8, 0..12),
+        0usize..5,
+        prop::collection::vec((finite_f64(), finite_f64()), 0..8),
+    )
+        .prop_map(
+            |(idle, tail, throughput, idles, name_bytes, series_len, curve)| {
+                let name: String = name_bytes.into_iter().map(char::from).collect();
+                let mut series = TimeSeries::new(name);
+                for i in 0..series_len {
+                    series.push(SimTime::from_secs(i as u64), i as f64);
+                }
+                RunOutcome {
+                    idle_temp: idle,
+                    tail_temp: tail,
+                    throughput,
+                    temp_series: series,
+                    observed_curve: curve,
+                    injected_idles: idles,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encode → decode → encode → decode: the fingerprint key and every
+    /// journaled measurement survive arbitrary re-serialization cycles
+    /// bit-for-bit (floats travel as IEEE-754 bit patterns, never through
+    /// decimal — `-0.0` and subnormals included).
+    #[test]
+    fn journal_entry_measurements_survive_reserialization(
+        fingerprint in any::<u64>(),
+        outcome in outcome_strategy(),
+    ) {
+        let line = encode_entry(fingerprint, &outcome);
+        let (fp1, cycle1) = decode_entry(&line).expect("freshly encoded line must decode");
+        prop_assert_eq!(fp1, fingerprint);
+        prop_assert!(same_measurements(&outcome, &cycle1), "first cycle lost bits");
+        // A second cycle (a replayed point being re-journaled on resume)
+        // is just as lossless.
+        let (fp2, cycle2) =
+            decode_entry(&encode_entry(fp1, &cycle1)).expect("re-encoded line must decode");
+        prop_assert_eq!(fp2, fingerprint);
+        prop_assert!(same_measurements(&outcome, &cycle2), "second cycle lost bits");
+    }
+
+    /// Point fingerprints are a pure function of the point's fields: an
+    /// independently reconstructed identical point fingerprints equal,
+    /// any seed perturbation fingerprints different, and the sweep
+    /// fingerprint is reproducible from a rebuilt grid.
+    #[test]
+    fn point_fingerprints_are_stable_and_discriminating(
+        seed in any::<u64>(),
+        perturb in 1u64..1000,
+    ) {
+        let a = tiny_point(seed);
+        let rebuilt = tiny_point(seed);
+        prop_assert_eq!(fingerprint_point(&a), fingerprint_point(&rebuilt));
+        let other = tiny_point(seed.wrapping_add(perturb));
+        prop_assert_ne!(fingerprint_point(&a), fingerprint_point(&other));
+        prop_assert_eq!(
+            fingerprint_sweep(&[a, other]),
+            fingerprint_sweep(&[tiny_point(seed), tiny_point(seed.wrapping_add(perturb))])
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Kill-and-resume at any interrupt point: run a grid to completion,
+    /// cut its journal back to the first `kill_after` entries plus a torn
+    /// fragment of the next line, and resume. At every worker count the
+    /// resumed outcomes are bit-identical to the uninterrupted run,
+    /// exactly `kill_after` points are replayed rather than recomputed,
+    /// and the journal ends up complete again.
+    #[test]
+    fn any_interrupt_point_resumes_bit_identical_at_every_worker_count(
+        kill_after in 0usize..=4,
+        seed in 0u64..1000,
+    ) {
+        const POINTS: usize = 4;
+        let guard = SWEEP_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let points: Vec<SweepPoint> = (0..POINTS as u64)
+            .map(|i| tiny_point(derive_seed(seed, i)))
+            .collect();
+        let sweep = fingerprint_sweep(&points);
+
+        // Uninterrupted reference run, journaling to a scratch dir.
+        let ref_dir = scratch_dir(&format!("ref-{seed}-{kill_after}"));
+        drop(std::fs::remove_dir_all(&ref_dir));
+        set_jobs(2);
+        let reference = run_supervised(
+            &points,
+            &SupervisorConfig {
+                journal_dir: Some(ref_dir.clone()),
+                ..SupervisorConfig::default()
+            },
+        );
+        prop_assert!(reference.iter().all(PointOutcome::is_ok));
+
+        // "Kill" the run after `kill_after` entries: keep the header and
+        // the first entries (journal order is completion order, not grid
+        // order), then tear the next line in half as SIGKILL would.
+        let text = std::fs::read_to_string(journal_path(&ref_dir, sweep))
+            .expect("reference journal written");
+        let mut kept = String::new();
+        let mut entries = 0usize;
+        let mut torn = false;
+        for line in text.lines() {
+            if line.starts_with('#') {
+                kept.push_str(line);
+                kept.push('\n');
+            } else if entries < kill_after {
+                kept.push_str(line);
+                kept.push('\n');
+                entries += 1;
+            } else if !torn {
+                kept.push_str(&line[..line.len() / 2]);
+                torn = true;
+            }
+        }
+        prop_assert_eq!(entries, kill_after);
+
+        for workers in [1, 2, 3] {
+            let dir = scratch_dir(&format!("resume-{seed}-{kill_after}-{workers}"));
+            drop(std::fs::remove_dir_all(&dir));
+            std::fs::create_dir_all(&dir).expect("scratch dir");
+            std::fs::write(journal_path(&dir, sweep), &kept).expect("write truncated journal");
+            set_jobs(workers);
+            take_replayed();
+            let resumed = run_supervised(
+                &points,
+                &SupervisorConfig {
+                    journal_dir: Some(dir.clone()),
+                    resume: true,
+                    ..SupervisorConfig::default()
+                },
+            );
+            prop_assert_eq!(take_replayed(), kill_after, "replay count at {workers} workers");
+            for (i, (r, o)) in reference.iter().zip(&resumed).enumerate() {
+                match (r, o) {
+                    (PointOutcome::Ok(a), PointOutcome::Ok(b)) => prop_assert!(
+                        same_measurements(a, b),
+                        "point {i} diverged at {workers} workers"
+                    ),
+                    _ => prop_assert!(false, "point {i} did not complete"),
+                }
+            }
+            // The resumed run healed the journal: all points decode with
+            // the reference measurements, so a *second* resume would be
+            // pure replay.
+            let healed = std::fs::read_to_string(journal_path(&dir, sweep)).expect("journal");
+            let decoded: BTreeMap<u64, RunOutcome> =
+                healed.lines().filter_map(decode_entry).collect();
+            prop_assert_eq!(decoded.len(), POINTS);
+            for (point, outcome) in points.iter().zip(&reference) {
+                let PointOutcome::Ok(outcome) = outcome else {
+                    unreachable!("checked above")
+                };
+                prop_assert!(
+                    same_measurements(outcome, &decoded[&fingerprint_point(point)]),
+                    "healed journal diverged at {workers} workers"
+                );
+            }
+            drop(std::fs::remove_dir_all(&dir));
+        }
+        drop(std::fs::remove_dir_all(&ref_dir));
+        drop(guard);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Chaos: poison a deterministic, intensity-controlled fraction of a
+    /// grid with invalid machine configs (each poisoned point panics in
+    /// `build_system_on`). The supervisor must quarantine exactly the
+    /// poisoned points, record one incident each, and deliver every
+    /// healthy point with exactly the measurements an all-healthy run
+    /// produces.
+    #[test]
+    fn chaos_grid_quarantines_exactly_the_poisoned_points(
+        intensity in 0.0f64..=1.0,
+        seed in 0u64..1000,
+    ) {
+        const POINTS: usize = 5;
+        let guard = SWEEP_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Deterministic chaos, the robustness experiment's way: point i
+        // is poisoned iff its seed-derived draw falls below `intensity`.
+        let poisoned: Vec<bool> = (0..POINTS as u64)
+            .map(|i| (derive_seed(seed, i) as f64 / u64::MAX as f64) < intensity)
+            .collect();
+        let healthy: Vec<SweepPoint> = (0..POINTS as u64)
+            .map(|i| tiny_point(derive_seed(seed ^ 0xC4A0, i)))
+            .collect();
+        let chaos: Vec<SweepPoint> = healthy
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let mut point = p.clone();
+                if poisoned[i] {
+                    point.machine.num_cores = 0;
+                }
+                point
+            })
+            .collect();
+
+        set_jobs(2);
+        drop(take_incidents());
+        let reference = run_supervised(&healthy, &SupervisorConfig::default());
+        drop(take_incidents());
+        let outcomes = run_supervised(&chaos, &SupervisorConfig::default());
+        let incidents = take_incidents();
+
+        let expected = poisoned.iter().filter(|&&p| p).count();
+        prop_assert_eq!(incidents.len(), expected);
+        for incident in &incidents {
+            prop_assert_eq!(incident.kind, IncidentKind::Quarantined);
+            prop_assert!(poisoned[incident.point], "healthy point {} reported", incident.point);
+        }
+        for (i, (r, o)) in reference.iter().zip(&outcomes).enumerate() {
+            match (poisoned[i], o) {
+                (true, PointOutcome::Panicked { msg }) => prop_assert!(
+                    msg.contains("machine config is valid"),
+                    "unexpected panic payload: {msg}"
+                ),
+                (false, PointOutcome::Ok(b)) => match r {
+                    PointOutcome::Ok(a) => prop_assert!(
+                        same_measurements(a, b),
+                        "healthy point {i} diverged under chaos"
+                    ),
+                    _ => prop_assert!(false, "reference point {i} failed"),
+                },
+                _ => prop_assert!(false, "point {i} landed in the wrong outcome class"),
+            }
+        }
+        drop(guard);
+    }
+}

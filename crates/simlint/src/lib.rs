@@ -81,21 +81,27 @@ pub fn effective_severity(rule: Rule, deny_warnings: bool) -> Severity {
 /// - `sim-core`, `dimetrodon`: the full set, including `Doc1` — these are
 ///   the two crates the paper's API surface lives in.
 /// - other result-path library crates (`thermal`, `power`, `machine`,
-///   `sched`, `workload`, `analysis`, `harness`, `faults`): everything but
+///   `sched`, `workload`, `analysis`, `faults`): everything but
 ///   `Doc1` (they already build with `#![warn(missing_docs)]`).
-/// - `cli`: determinism rules only (`D2`, `D3`); an application binary may
-///   read the wall clock for UX and panic at the top level.
-/// - `bench`: `D3` only; measuring wall-clock time is its entire purpose.
+/// - `harness`: the library set plus `R2` — it owns the sweep supervisor,
+///   where a `let _ = ...` on a fallible call silently swallows exactly the
+///   failures supervision exists to surface.
+/// - `cli`: determinism rules (`D2`, `D3`) plus `R2`; an application binary
+///   may read the wall clock for UX and panic at the top level, but must
+///   not discard results.
+/// - `bench`: `D3` plus `R2`; measuring wall-clock time is its entire
+///   purpose, but a dropped `Result` would hide a failed experiment.
 /// - vendored shims (`proptest`, `criterion`) and `simlint` itself: exempt.
 pub fn rules_for_crate(dir_name: &str) -> &'static [Rule] {
     const FULL: &[Rule] = &[Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::R1, Rule::Doc1];
     const LIB: &[Rule] = &[Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::R1];
-    const APP: &[Rule] = &[Rule::D2, Rule::D3];
-    const BENCH: &[Rule] = &[Rule::D3];
+    const HARNESS: &[Rule] = &[Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::R1, Rule::R2];
+    const APP: &[Rule] = &[Rule::D2, Rule::D3, Rule::R2];
+    const BENCH: &[Rule] = &[Rule::D3, Rule::R2];
     match dir_name {
         "sim-core" | "dimetrodon" => FULL,
-        "thermal" | "power" | "machine" | "sched" | "workload" | "analysis" | "harness"
-        | "faults" => LIB,
+        "thermal" | "power" | "machine" | "sched" | "workload" | "analysis" | "faults" => LIB,
+        "harness" => HARNESS,
         "cli" => APP,
         "bench" => BENCH,
         _ => &[],
@@ -416,6 +422,16 @@ mod tests {
         assert!(rules_for_crate("simlint").is_empty());
         assert!(rules_for_crate("sim-core").contains(&Rule::Doc1));
         assert!(!rules_for_crate("thermal").contains(&Rule::Doc1));
+    }
+
+    #[test]
+    fn r2_governs_the_supervised_crates() {
+        for name in ["harness", "cli", "bench"] {
+            assert!(rules_for_crate(name).contains(&Rule::R2), "{name}");
+        }
+        for name in ["thermal", "sim-core", "simlint"] {
+            assert!(!rules_for_crate(name).contains(&Rule::R2), "{name}");
+        }
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub enum Rule {
     /// No `.unwrap()`/`.expect()`/`panic!` in library code outside
     /// `#[cfg(test)]`.
     R1,
+    /// No silently discarded call results: `let _ = f(...)` swallows a
+    /// `Result`/`PointOutcome`; bind and handle it or justify with a
+    /// suppression.
+    R2,
     /// Public items must carry doc comments.
     Doc1,
 }
@@ -39,7 +43,15 @@ pub enum Severity {
 
 impl Rule {
     /// Every rule, in report order.
-    pub const ALL: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::R1, Rule::Doc1];
+    pub const ALL: [Rule; 7] = [
+        Rule::D1,
+        Rule::D2,
+        Rule::D3,
+        Rule::D4,
+        Rule::R1,
+        Rule::R2,
+        Rule::Doc1,
+    ];
 
     /// The stable string ID used in diagnostics and `simlint::allow(...)`.
     pub fn id(self) -> &'static str {
@@ -49,6 +61,7 @@ impl Rule {
             Rule::D3 => "D3",
             Rule::D4 => "D4",
             Rule::R1 => "R1",
+            Rule::R2 => "R2",
             Rule::Doc1 => "Doc1",
         }
     }
@@ -61,6 +74,7 @@ impl Rule {
             "D3" => Some(Rule::D3),
             "D4" => Some(Rule::D4),
             "R1" => Some(Rule::R1),
+            "R2" => Some(Rule::R2),
             "Doc1" => Some(Rule::Doc1),
             _ => None,
         }
@@ -70,7 +84,7 @@ impl Rule {
     pub fn default_severity(self) -> Severity {
         match self {
             Rule::D1 | Rule::D2 | Rule::D3 => Severity::Deny,
-            Rule::D4 | Rule::R1 | Rule::Doc1 => Severity::Warn,
+            Rule::D4 | Rule::R1 | Rule::R2 | Rule::Doc1 => Severity::Warn,
         }
     }
 }
@@ -98,11 +112,11 @@ fn contains_word(haystack: &str, needle: &str) -> bool {
         let before_ok = haystack[..at]
             .chars()
             .next_back()
-            .map_or(true, |c| !c.is_alphanumeric() && c != '_');
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
         let after_ok = haystack[at + needle.len()..]
             .chars()
             .next()
-            .map_or(true, |c| !c.is_alphanumeric() && c != '_');
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
         if before_ok && after_ok {
             return true;
         }
@@ -210,11 +224,11 @@ fn has_as_f32(code: &str) -> bool {
         let before_ok = code[..at]
             .chars()
             .next_back()
-            .map_or(false, |c| !c.is_alphanumeric() && c != '_');
+            .is_some_and(|c| !c.is_alphanumeric() && c != '_');
         let after_ok = code[at + 6..]
             .chars()
             .next()
-            .map_or(true, |c| !c.is_alphanumeric() && c != '_');
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
         if before_ok && after_ok {
             return true;
         }
@@ -238,7 +252,7 @@ pub fn starts_pub_item(code_trimmed: &str) -> bool {
             after
                 .chars()
                 .next()
-                .map_or(true, |c| !c.is_alphanumeric() && c != '_')
+                .is_none_or(|c| !c.is_alphanumeric() && c != '_')
         }) {
             return true;
         }
@@ -338,6 +352,23 @@ pub fn check_line(code: &str, enabled: &[Rule], has_doc: bool) -> Vec<(Rule, Str
                     ));
                 }
             }
+            Rule::R2 => {
+                // `let _ = call(...)` discards a value the callee computed —
+                // in supervised code that is typically a `Result` or a
+                // `PointOutcome` whose failure then vanishes. A bare
+                // `let _ = name;` (no call) is just silencing an unused
+                // binding and stays legal.
+                if let Some(pos) = code.find("let _ =") {
+                    if code[pos + "let _ =".len()..].contains('(') {
+                        found.push((
+                            rule,
+                            "silently discarded call result; bind and handle the value (or drop() \
+                             it) or justify with a suppression"
+                                .to_string(),
+                        ));
+                    }
+                }
+            }
             Rule::Doc1 => {
                 if starts_pub_item(trimmed) && !has_doc {
                     found.push((rule, "public item without a doc comment".to_string()));
@@ -424,6 +455,21 @@ mod tests {
         // The guard is D3-specific: other rules still fire on such lines.
         let hits = check_line("let x = SimRng::new(s).next().unwrap();", &[Rule::R1], false);
         assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn r2_flags_discarded_call_results_only() {
+        let hits = check_line("let _ = tx.send(result);", &[Rule::R2], false);
+        assert_eq!(hits.len(), 1);
+        let hits = check_line("    let _ = std::fs::remove_file(path);", &[Rule::R2], false);
+        assert_eq!(hits.len(), 1);
+        // Discarding a plain binding (no call) is an unused-variable
+        // silencer, not a swallowed failure.
+        let clean = check_line("let _ = cool_id;", &[Rule::R2], false);
+        assert!(clean.is_empty());
+        // Bound results are the handled path.
+        let clean = check_line("let outcome = run_point(i);", &[Rule::R2], false);
+        assert!(clean.is_empty());
     }
 
     #[test]

@@ -9,3 +9,6 @@ fn first(v: &[u32]) -> u32 { *v.first().unwrap() }
 fn seed() { let t = std::time::Instant::now(); let r = rand::thread_rng(); }
 
 fn unsuppressed() { let x = opt.unwrap(); }
+
+// simlint::allow(R2): the send only fails when the receiver already gave up
+fn fire(tx: &Sender<u32>) { let _ = tx.send(1); }

@@ -6,8 +6,16 @@ use std::process::Command;
 
 use simlint::{lint_source, lint_workspace, Rule, Severity};
 
-const FULL: &[Rule] = &[Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::R1, Rule::Doc1];
-const LIB: &[Rule] = &[Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::R1];
+const FULL: &[Rule] = &[
+    Rule::D1,
+    Rule::D2,
+    Rule::D3,
+    Rule::D4,
+    Rule::R1,
+    Rule::R2,
+    Rule::Doc1,
+];
+const LIB: &[Rule] = &[Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::R1, Rule::R2];
 
 fn fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -44,6 +52,7 @@ fn violations_fixture_fires_every_rule_at_exact_lines() {
             (14, Rule::D4),  // *x == 0.5
             (15, Rule::R1),  // panic!
             (17, Rule::D4),  // as f32
+            (18, Rule::R2),  // let _ = (...) discards a computed value
         ]
     );
 }
@@ -62,8 +71,9 @@ fn every_rule_is_exercised_by_the_violations_fixture() {
 fn suppressions_fixture_honors_allows_and_reports_the_rest() {
     let src = fixture("suppressions.rs");
     let lint = lint_source("fixture.rs", &src, LIB);
-    // D2@3 (same line), R1@6 (preceding line), D1+D3@9 (comma list).
-    assert_eq!(lint.suppressed, 4);
+    // D2@3 (same line), R1@6 (preceding line), D1+D3@9 (comma list),
+    // R2@14 (preceding line).
+    assert_eq!(lint.suppressed, 5);
     let remaining: Vec<(usize, Rule)> =
         lint.diagnostics.iter().map(|d| (d.line, d.rule)).collect();
     assert_eq!(remaining, vec![(11, Rule::R1)]);
@@ -90,6 +100,7 @@ fn severity_defaults_and_promotion() {
     assert_eq!(Rule::D3.default_severity(), Severity::Deny);
     assert_eq!(Rule::D4.default_severity(), Severity::Warn);
     assert_eq!(Rule::R1.default_severity(), Severity::Warn);
+    assert_eq!(Rule::R2.default_severity(), Severity::Warn);
     assert_eq!(Rule::Doc1.default_severity(), Severity::Warn);
     for rule in Rule::ALL {
         assert_eq!(simlint::effective_severity(rule, true), Severity::Deny);
