@@ -1,0 +1,70 @@
+//! Micro-benchmark of the thermal substep kernel itself, isolated from
+//! sweep orchestration: a small network shaped like the calibrated
+//! platform (10 nodes) and a large synthetic one (128 nodes), each
+//! advanced through many substeps. With `--features simd` the scalar and
+//! AVX2 kernels are measured side by side (via the runtime-dispatch
+//! override), so a kernel regression is visible independently of the
+//! sweep engine's pool and snapshot machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dimetrodon_thermal::{ThermalNetwork, ThermalNetworkBuilder};
+
+/// A chain-of-blocks network with `n` nodes: node 0 touches ambient,
+/// each node connects to its predecessor, and every fourth node gets a
+/// skip link two back — enough edge variety to exercise the packed
+/// neighbour walk without leaving the sparse regime the kernel targets.
+fn network(n: usize) -> ThermalNetwork {
+    let mut builder = ThermalNetworkBuilder::new(25.0);
+    let nodes: Vec<_> = (0..n)
+        .map(|i| builder.add_node(format!("n{i}"), 0.05 + 0.01 * (i % 7) as f64))
+        .collect();
+    builder.connect_ambient(nodes[0], 4.0);
+    for i in 1..n {
+        builder.connect(nodes[i], nodes[i - 1], 0.8 + 0.1 * (i % 3) as f64);
+        if i % 4 == 0 && i >= 2 {
+            builder.connect(nodes[i], nodes[i - 2], 0.3);
+        }
+    }
+    let mut network = builder.build().expect("valid network");
+    for (i, &node) in nodes.iter().enumerate() {
+        network.set_power(node, (i % 5) as f64 * 3.0);
+    }
+    network
+}
+
+/// Advances through 512 full-length substeps (the steady-state fast
+/// path: precomputed decay factors, no `exp` calls).
+fn advance_substeps(network: &mut ThermalNetwork) {
+    let step = network.max_substep();
+    for _ in 0..512 {
+        network.advance(step);
+    }
+}
+
+fn bench_substep(c: &mut Criterion) {
+    for (label, n) in [("small_n10", 10), ("large_n128", 128)] {
+        let mut group = c.benchmark_group(format!("thermal_substep_{label}"));
+
+        group.bench_function("scalar", |b| {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            dimetrodon_thermal::simd::force_scalar(true);
+            let mut network = network(n);
+            b.iter(|| advance_substeps(&mut network));
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            dimetrodon_thermal::simd::force_scalar(false);
+        });
+
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if dimetrodon_thermal::simd::avx2_active() {
+            group.bench_function("simd", |b| {
+                let mut network = network(n);
+                b.iter(|| advance_substeps(&mut network));
+            });
+        }
+
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_substep);
+criterion_main!(benches);

@@ -486,7 +486,7 @@ fn preventive_vs_reactive(table: &mut Table, config: RunConfig) {
 /// 7. Thermal-aware wake placement on a pulsed single-thread load.
 fn thermal_placement(table: &mut Table) {
     use dimetrodon_sched::{Action, Burst, ThreadBody};
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Pulsed {
         left: SimDuration,
     }

@@ -100,6 +100,9 @@ pub struct Options {
     pub retries: u32,
     /// Wall-clock watchdog per sweep-point attempt, seconds.
     pub point_deadline: Option<f64>,
+    /// Disable warm-prefix snapshot reuse in sweep-shaped runs (identical
+    /// results, cold-path timing).
+    pub no_snapshot: bool,
 }
 
 impl Default for Options {
@@ -124,6 +127,7 @@ impl Default for Options {
             strict: false,
             retries: 0,
             point_deadline: None,
+            no_snapshot: false,
         }
     }
 }
@@ -204,6 +208,8 @@ OPTIONS:
     --retries <n>      extra attempts for a failed sweep point (seeds are
                        re-derived from the grid; deterministic)  [default: 0]
     --point-deadline <s> wall-clock watchdog per sweep-point attempt
+    --no-snapshot      recompute every warmup prefix instead of forking a
+                       cached snapshot (identical results, slower)
     --help             print this text
 ";
 
@@ -410,6 +416,7 @@ impl Options {
                     }
                     options.point_deadline = Some(secs);
                 }
+                "--no-snapshot" => options.no_snapshot = true,
                 "--help" | "-h" => return Err(ParseArgsError::HelpRequested),
                 other => return Err(ParseArgsError::UnknownFlag(other.to_string())),
             }
@@ -567,6 +574,13 @@ mod tests {
             Err(ParseArgsError::BadValue { flag: "--point-deadline", .. })
         ));
         assert!(USAGE.contains("--strict") && USAGE.contains("--point-deadline"));
+    }
+
+    #[test]
+    fn no_snapshot_parses() {
+        assert!(!Options::parse(Vec::<String>::new()).unwrap().no_snapshot);
+        assert!(Options::parse(["--no-snapshot"]).unwrap().no_snapshot);
+        assert!(USAGE.contains("--no-snapshot"));
     }
 
     #[test]

@@ -51,7 +51,7 @@ use crate::policy::InjectionParams;
 /// );
 /// assert_eq!(controller.setpoint(), 45.0);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SetpointController {
     inner: DimetrodonHook,
     setpoint_celsius: f64,
@@ -270,7 +270,7 @@ mod tests {
     /// Telemetry stub that reports `hot` for the first `flip_at` ticks
     /// and `cold` after — lets the wind-up test flip the error sign
     /// without waiting on thermal physics.
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct ScriptedTelemetry {
         hot: f64,
         cold: f64,

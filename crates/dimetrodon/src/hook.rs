@@ -33,7 +33,10 @@ use crate::policy::{InjectionModel, PolicyHandle};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+// Clone is deep except for `policy`: forks share the policy handle, so a
+// probability update steers every fork (matching how one userspace daemon
+// drives every core's hook in the paper's implementation).
+#[derive(Debug, Clone)]
 pub struct DimetrodonHook {
     policy: PolicyHandle,
     model: InjectionModel,

@@ -19,7 +19,7 @@ use crate::plan::FaultPlan;
 const MIN_JITTERED_QUANTUM: SimDuration = SimDuration::from_micros(10);
 
 /// A [`SchedHook`] wrapper that injects scheduler-side faults.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FaultyHook {
     inner: Box<dyn SchedHook>,
     plan: FaultPlan,
@@ -115,7 +115,7 @@ mod tests {
 
     /// A deterministic stub policy that always injects a fixed quantum
     /// and counts its traffic.
-    #[derive(Debug, Default)]
+    #[derive(Debug, Default, Clone)]
     struct CountingHook {
         schedules: u64,
         ticks: u64,

@@ -40,6 +40,7 @@
 
 pub mod experiments;
 mod runner;
+pub mod snapshot;
 pub mod supervise;
 pub mod sweep;
 

@@ -1,0 +1,262 @@
+//! Warm-prefix sharing for parameter sweeps.
+//!
+//! Every point of a (p, L) grid simulates the same thing for most of its
+//! run: the machine warming from idle under the unactuated workload,
+//! before the point's controller parameters matter at all. With a
+//! non-zero [`RunConfig::warmup`](crate::RunConfig::warmup) the runner
+//! routes that prefix through this cache: the first point with a given
+//! (machine, workload, warmup) triple builds the system, drives it to the
+//! end of the prefix, and deposits a [`SystemSnapshot`]; every later
+//! point forks the snapshot instead of recomputing the prefix. A grid of
+//! N points pays one warmup and forks N times.
+//!
+//! # Why this cannot change results
+//!
+//! * The prefix runs under the null hook, which draws no randomness, so
+//!   it is a pure function of the cache key — the per-point *seed* only
+//!   feeds the policy RNG, which does not exist until actuation attaches
+//!   after the prefix.
+//! * A fork is a deep copy of all mutable simulation state (event queue
+//!   ordering included); resuming it is bit-identical to continuing the
+//!   original, which the harness property tests assert at every worker
+//!   count.
+//!
+//! Consequently a cache hit, a cache miss, and a disabled cache
+//! ([`set_enabled`]`(false)`, the CLI's `--no-snapshot`) all produce the
+//! same bytes; the escape hatch exists for timing comparisons and
+//! paranoia, not correctness.
+//!
+//! # Threading
+//!
+//! [`System`] holds `Rc` handles and cannot cross threads, so the cache
+//! is thread-local: each sweep worker warms its own copy and amortises it
+//! over the points its claim loop processes. The hit/miss counters are
+//! global, so the orchestrating thread can report fleet-wide reuse.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use dimetrodon_machine::MachineConfig;
+use dimetrodon_sched::{System, SystemSnapshot};
+use dimetrodon_sim_core::SimDuration;
+
+use crate::runner::SaturatingWorkload;
+use crate::supervise::fnv1a64;
+
+/// Globally enables or disables warm-prefix reuse (the `--no-snapshot`
+/// flag). Disabled, every run recomputes its prefix — same results,
+/// cold-path timing.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Warm prefixes actually simulated (cache misses plus disabled-cache
+/// runs).
+static WARMUPS_PAID: AtomicU64 = AtomicU64::new(0);
+
+/// Runs served by forking a cached prefix.
+static FORKS_SERVED: AtomicU64 = AtomicU64::new(0);
+
+/// Distinct warm prefixes a single worker keeps live. Sweeps iterate one
+/// or two (machine, workload) combinations at a time; eight covers every
+/// current experiment with room to spare while bounding memory.
+const CACHE_CAP: usize = 8;
+
+thread_local! {
+    /// Per-worker snapshot store, most recently used last.
+    static CACHE: RefCell<Vec<(u64, SystemSnapshot)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Enables or disables warm-prefix reuse for every subsequent run.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether warm-prefix reuse is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears the calling thread's snapshot store and zeroes the global
+/// reuse counters. Benchmarks call this per iteration so each iteration
+/// honestly pays its one warmup.
+pub fn reset() {
+    CACHE.with(|cache| cache.borrow_mut().clear());
+    WARMUPS_PAID.store(0, Ordering::Relaxed);
+    FORKS_SERVED.store(0, Ordering::Relaxed);
+}
+
+/// Reuse counters since the last [`reset`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Warm prefixes actually simulated.
+    pub warmups_paid: u64,
+    /// Runs served by forking a cached prefix.
+    pub forks_served: u64,
+}
+
+/// Reads the global reuse counters.
+pub fn stats() -> SnapshotStats {
+    SnapshotStats {
+        warmups_paid: WARMUPS_PAID.load(Ordering::Relaxed),
+        forks_served: FORKS_SERVED.load(Ordering::Relaxed),
+    }
+}
+
+/// The cache key of a warm prefix: FNV-1a64 (the supervisor's fingerprint
+/// hash) over the exhaustive `Debug` rendering of everything the prefix
+/// depends on. The seed is deliberately absent — the unactuated prefix
+/// draws no randomness — which is exactly what lets a whole seed-varied
+/// grid share one snapshot.
+pub(crate) fn warm_key(
+    machine: &MachineConfig,
+    workload: SaturatingWorkload,
+    warmup: SimDuration,
+) -> u64 {
+    fnv1a64(format!("{machine:?}|{workload:?}|{warmup:?}").as_bytes())
+}
+
+/// Returns a system warmed to the end of its prefix: a fork of the cached
+/// snapshot under `key`, or the result of `build` (cached for next time)
+/// on a miss. With the cache disabled, always builds and never stores.
+pub(crate) fn warmed(key: u64, build: impl FnOnce() -> System) -> System {
+    if !enabled() {
+        WARMUPS_PAID.fetch_add(1, Ordering::Relaxed);
+        return build();
+    }
+    let hit = CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        let pos = cache.iter().position(|(k, _)| *k == key)?;
+        // Move the entry to the back: eviction takes the front (least
+        // recently used).
+        let entry = cache.remove(pos);
+        let fork = entry.1.fork();
+        cache.push(entry);
+        Some(fork)
+    });
+    if let Some(system) = hit {
+        FORKS_SERVED.fetch_add(1, Ordering::Relaxed);
+        return system;
+    }
+    let system = build();
+    WARMUPS_PAID.fetch_add(1, Ordering::Relaxed);
+    CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if cache.len() >= CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push((key, system.snapshot()));
+    });
+    system
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    use dimetrodon_machine::Machine;
+
+    /// The enable flag and counters are process-global; serialise the
+    /// tests that touch them.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn tiny_system() -> System {
+        let machine = Machine::new(MachineConfig::xeon_e5520()).expect("preset");
+        System::new(machine)
+    }
+
+    #[test]
+    fn keys_separate_every_prefix_ingredient() {
+        let base = warm_key(
+            &MachineConfig::xeon_e5520(),
+            SaturatingWorkload::CpuBurn,
+            SimDuration::from_secs(25),
+        );
+        assert_eq!(
+            base,
+            warm_key(
+                &MachineConfig::xeon_e5520(),
+                SaturatingWorkload::CpuBurn,
+                SimDuration::from_secs(25),
+            ),
+            "equal ingredients must key equal"
+        );
+        assert_ne!(
+            base,
+            warm_key(
+                &MachineConfig::xeon_e5520(),
+                SaturatingWorkload::CpuBurn,
+                SimDuration::from_secs(26),
+            ),
+            "warmup length must separate keys"
+        );
+        assert_ne!(
+            base,
+            warm_key(
+                &MachineConfig::xeon_e5520_nop_idle(),
+                SaturatingWorkload::CpuBurn,
+                SimDuration::from_secs(25),
+            ),
+            "machine config must separate keys"
+        );
+    }
+
+    #[test]
+    fn cache_pays_once_and_forks_after() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        set_enabled(true);
+        let mut builds = 0;
+        for _ in 0..4 {
+            let _system = warmed(0xABCD, || {
+                builds += 1;
+                tiny_system()
+            });
+        }
+        assert_eq!(builds, 1, "one warmup for the whole grid");
+        assert_eq!(
+            stats(),
+            SnapshotStats {
+                warmups_paid: 1,
+                forks_served: 3
+            }
+        );
+        reset();
+    }
+
+    #[test]
+    fn disabled_cache_always_builds() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        set_enabled(false);
+        let mut builds = 0;
+        for _ in 0..3 {
+            let _system = warmed(0xEF01, || {
+                builds += 1;
+                tiny_system()
+            });
+        }
+        set_enabled(true);
+        assert_eq!(builds, 3, "disabled cache must recompute every prefix");
+        assert_eq!(stats().forks_served, 0);
+        reset();
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        set_enabled(true);
+        // Fill past capacity, then revisit the first key: it must have
+        // been evicted and so must rebuild.
+        for key in 0..=CACHE_CAP as u64 {
+            warmed(key, tiny_system);
+        }
+        let mut rebuilt = false;
+        warmed(0, || {
+            rebuilt = true;
+            tiny_system()
+        });
+        assert!(rebuilt, "oldest entry should have been evicted");
+        reset();
+    }
+}

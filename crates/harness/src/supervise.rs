@@ -257,7 +257,7 @@ fn record_incident(incident: Incident) {
 
 /// FNV-1a 64-bit over a byte slice: tiny, dependency-free, and stable
 /// across runs and platforms.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= b as u64;
@@ -706,6 +706,7 @@ mod tests {
         RunConfig {
             duration: SimDuration::from_secs(2),
             measure_window: SimDuration::from_secs(1),
+            warmup: SimDuration::ZERO,
             seed,
         }
     }
@@ -863,6 +864,7 @@ mod tests {
         let slow = RunConfig {
             duration: SimDuration::from_secs(1800),
             measure_window: SimDuration::from_secs(1),
+            warmup: SimDuration::ZERO,
             seed: 4,
         };
         let points = vec![SweepPoint::new(

@@ -33,6 +33,7 @@ fn tiny_config(seed: u64) -> RunConfig {
     RunConfig {
         duration: SimDuration::from_secs(2),
         measure_window: SimDuration::from_secs(1),
+        warmup: SimDuration::ZERO,
         seed,
     }
 }

@@ -4,7 +4,9 @@ use std::fmt;
 
 use dimetrodon_power::{CoreState, EnergyMeter, PState, PStateId};
 use dimetrodon_sim_core::SimDuration;
-use dimetrodon_thermal::{NodeId, ThermalError, ThermalNetwork, ThermalNetworkBuilder};
+use dimetrodon_thermal::{
+    NodeId, ThermalError, ThermalNetwork, ThermalNetworkBuilder, ThermalSnapshot,
+};
 
 use crate::config::{IdleMode, MachineConfig};
 
@@ -159,6 +161,29 @@ pub struct Machine {
     /// Clock value at which the trip last engaged.
     tripped_at: SimDuration,
     energy: EnergyMeter,
+    /// Reusable buffer for per-physical-core powers inside `advance`, so
+    /// the hot path neither allocates nor evaluates the power model twice.
+    power_scratch: Vec<f64>,
+}
+
+/// A checkpoint of a [`Machine`]'s mutable state: thermal conditions, core
+/// and P-states, DTM latches, clock, and the energy meter. The
+/// configuration and thermal topology are not captured — a snapshot can
+/// only be [`restore`](Machine::restore)d onto a machine built from the
+/// same configuration.
+#[derive(Debug, Clone)]
+pub struct MachineSnapshot {
+    network: ThermalSnapshot,
+    core_states: Vec<CoreState>,
+    pstate: PStateId,
+    core_pstates: Vec<Option<PStateId>>,
+    tcc_duty: f64,
+    throttled: bool,
+    tripped: bool,
+    trip_count: u64,
+    clock: SimDuration,
+    tripped_at: SimDuration,
+    energy: EnergyMeter,
 }
 
 impl Machine {
@@ -230,6 +255,7 @@ impl Machine {
             clock: SimDuration::ZERO,
             tripped_at: SimDuration::ZERO,
             energy: EnergyMeter::new(),
+            power_scratch: Vec::with_capacity(num_physical),
         })
     }
 
@@ -545,11 +571,19 @@ impl Machine {
     pub fn advance(&mut self, dt: SimDuration) -> f64 {
         self.update_throttle();
         self.update_trip();
-        let package = self.package_power();
+        // Evaluate each physical core's power model exactly once; the
+        // package meter and the thermal split below read the same values
+        // (previously the model ran twice per core per advance).
+        let mut core_powers = std::mem::take(&mut self.power_scratch);
+        core_powers.clear();
+        core_powers.extend((0..self.config.num_cores).map(|p| self.physical_core_power(p)));
+        let package = self.config.package_power.package_power(core_powers.iter().copied());
         if dt.is_zero() {
+            self.power_scratch = core_powers;
             return package;
         }
-        self.apply_powers();
+        self.apply_core_powers(&core_powers);
+        self.power_scratch = core_powers;
         if cfg!(feature = "invariants") {
             // Energy conservation at the thermal boundary: the watts split
             // across hotspot/die/package nodes must sum back to the package
@@ -619,9 +653,18 @@ impl Machine {
     /// Writes the current per-core powers into the thermal network,
     /// splitting each core's power between its hotspot and die-bulk nodes.
     fn apply_powers(&mut self) {
+        let mut core_powers = std::mem::take(&mut self.power_scratch);
+        core_powers.clear();
+        core_powers.extend((0..self.config.num_cores).map(|p| self.physical_core_power(p)));
+        self.apply_core_powers(&core_powers);
+        self.power_scratch = core_powers;
+    }
+
+    /// Splits already-evaluated per-physical-core powers between each
+    /// core's hotspot and die-bulk nodes.
+    fn apply_core_powers(&mut self, core_powers: &[f64]) {
         let fraction = self.config.thermal.hotspot_power_fraction;
-        for phys in 0..self.config.num_cores {
-            let watts = self.physical_core_power(phys);
+        for (phys, &watts) in core_powers.iter().enumerate() {
             self.network
                 .set_power(self.hotspot_nodes[phys], watts * fraction);
             self.network
@@ -731,6 +774,56 @@ impl Machine {
         let mut probe = self.clone();
         probe.settle_idle();
         probe.mean_sensor_temperature()
+    }
+
+    /// Captures the machine's mutable state for later
+    /// [`restore`](Machine::restore).
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            network: self.network.snapshot(),
+            core_states: self.core_states.clone(),
+            pstate: self.pstate,
+            core_pstates: self.core_pstates.clone(),
+            tcc_duty: self.tcc_duty,
+            throttled: self.throttled,
+            tripped: self.tripped,
+            trip_count: self.trip_count,
+            clock: self.clock,
+            tripped_at: self.tripped_at,
+            energy: self.energy.clone(),
+        }
+    }
+
+    /// Rewinds the machine to a previously captured snapshot. Advancing
+    /// afterwards is bit-identical to advancing an uninterrupted machine
+    /// from the same state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken from a machine with a different
+    /// core or thread count.
+    pub fn restore(&mut self, snapshot: &MachineSnapshot) {
+        assert_eq!(
+            snapshot.core_states.len(),
+            self.core_states.len(),
+            "snapshot logical CPU count mismatch"
+        );
+        assert_eq!(
+            snapshot.core_pstates.len(),
+            self.core_pstates.len(),
+            "snapshot physical core count mismatch"
+        );
+        self.network.restore(&snapshot.network);
+        self.core_states.copy_from_slice(&snapshot.core_states);
+        self.pstate = snapshot.pstate;
+        self.core_pstates.copy_from_slice(&snapshot.core_pstates);
+        self.tcc_duty = snapshot.tcc_duty;
+        self.throttled = snapshot.throttled;
+        self.tripped = snapshot.tripped;
+        self.trip_count = snapshot.trip_count;
+        self.clock = snapshot.clock;
+        self.tripped_at = snapshot.tripped_at;
+        self.energy = snapshot.energy.clone();
     }
 }
 
@@ -955,6 +1048,47 @@ mod tests {
         let _ = m.idle_temperature();
         let after = (0..4).map(|i| m.core_temperature(CoreId(i))).collect::<Vec<_>>();
         assert_eq!(temps, after);
+    }
+
+    #[test]
+    fn snapshot_restore_then_advance_is_bit_exact() {
+        let mut m = machine();
+        all_active(&mut m);
+        m.advance(SimDuration::from_secs(3));
+        let snap = m.snapshot();
+
+        let mut straight = m.clone();
+        for _ in 0..50 {
+            straight.advance(SimDuration::from_millis(37));
+        }
+
+        // Diverge hard: different P-state, TCC gating, idle cores, and an
+        // irregular advance that pollutes the thermal decay cache.
+        m.set_pstate(PStateId(1));
+        m.set_tcc_duty(0.5);
+        for core in m.core_ids().collect::<Vec<_>>() {
+            m.set_core_state(core, CoreState::IdleC1e);
+        }
+        m.advance(SimDuration::from_secs_f64(0.7531));
+        m.restore(&snap);
+        for _ in 0..50 {
+            m.advance(SimDuration::from_millis(37));
+        }
+
+        for core in m.core_ids().collect::<Vec<_>>() {
+            assert_eq!(
+                m.core_temperature(core).to_bits(),
+                straight.core_temperature(core).to_bits()
+            );
+            assert_eq!(
+                m.core_sensor_temperature(core).to_bits(),
+                straight.core_sensor_temperature(core).to_bits()
+            );
+        }
+        assert_eq!(
+            m.energy().joules().to_bits(),
+            straight.energy().joules().to_bits()
+        );
     }
 
     #[test]

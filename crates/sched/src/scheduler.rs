@@ -15,7 +15,7 @@ use crate::thread::{ThreadId, ThreadKind};
 /// The [`System`](crate::System) owns thread state; the scheduler only
 /// tracks runnable membership and its own priority bookkeeping. Methods are
 /// notifications from the system.
-pub trait Scheduler: fmt::Debug {
+pub trait Scheduler: fmt::Debug + SchedulerClone {
     /// A thread came into existence.
     fn on_spawn(&mut self, id: ThreadId, kind: ThreadKind);
     /// A thread exited (it is guaranteed not runnable at this point).
@@ -34,6 +34,27 @@ pub trait Scheduler: fmt::Debug {
     fn timeslice(&self) -> SimDuration;
     /// Number of currently runnable (queued) threads.
     fn runnable_count(&self) -> usize;
+}
+
+/// Object-safe cloning for boxed schedulers, so a whole
+/// [`System`](crate::System) can be forked mid-run with its runqueue and
+/// priority bookkeeping intact. Blanket-implemented for every `Clone`
+/// scheduler; implementors just derive (or write) `Clone`.
+pub trait SchedulerClone {
+    /// Boxes a copy of `self`.
+    fn clone_box(&self) -> Box<dyn Scheduler>;
+}
+
+impl<T: Scheduler + Clone + 'static> SchedulerClone for T {
+    fn clone_box(&self) -> Box<dyn Scheduler> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Scheduler> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// The 4.4BSD scheduler: a global multi-level feedback queue with a fixed
@@ -57,7 +78,7 @@ pub trait Scheduler: fmt::Debug {
 /// // The kernel thread outranks the user thread.
 /// assert_eq!(sched.pick(CoreId(0)), Some(ThreadId(2)));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BsdScheduler {
     timeslice: SimDuration,
     meta: BTreeMap<ThreadId, BsdEntity>,
@@ -177,7 +198,7 @@ impl Scheduler for BsdScheduler {
 ///
 /// Deliberately simplified: no interactivity scoring, two static bands
 /// (kernel above user), FIFO within a band.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct UleScheduler {
     timeslice: SimDuration,
     kinds: BTreeMap<ThreadId, ThreadKind>,

@@ -94,7 +94,7 @@ enum ThreadRun {
     Exited,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ThreadState {
     kind: ThreadKind,
     body: Box<dyn ThreadBody>,
@@ -128,7 +128,7 @@ enum CoreRun {
     },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CoreCtl {
     token: u64,
     run: CoreRun,
@@ -160,7 +160,13 @@ struct CoreCtl {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+/// Cloning deep-copies every piece of mutable simulation state — machine,
+/// scheduler bookkeeping, threads, event calendar, recorded series — so a
+/// clone advances independently and bit-identically to the original having
+/// continued uninterrupted. (Immutable thermal topology is shared via
+/// `Arc`; hook or body state held behind `Rc` handles stays shared, see
+/// [`SchedHookClone`](crate::SchedHookClone).)
+#[derive(Debug, Clone)]
 pub struct System {
     machine: Machine,
     scheduler: Box<dyn Scheduler>,
@@ -177,6 +183,29 @@ pub struct System {
     power_meter: Option<PowerMeter>,
     trace: Option<DecisionTrace>,
     total_injected_idles: u64,
+}
+
+/// A forkable checkpoint of a [`System`], produced by
+/// [`System::snapshot`].
+///
+/// Holds a deep copy of the simulation's mutable state (the immutable
+/// thermal topology stays shared via `Arc`). Each [`fork`](Self::fork)
+/// yields an independent `System` that resumes from the captured instant.
+#[derive(Debug, Clone)]
+pub struct SystemSnapshot {
+    state: System,
+}
+
+impl SystemSnapshot {
+    /// A fresh, independent system resuming from the captured instant.
+    pub fn fork(&self) -> System {
+        self.state.clone()
+    }
+
+    /// Consumes the snapshot, yielding the captured system without a copy.
+    pub fn into_system(self) -> System {
+        self.state
+    }
 }
 
 impl System {
@@ -365,6 +394,19 @@ impl System {
     /// Total idle quanta injected across all threads.
     pub fn total_injected_idles(&self) -> u64 {
         self.total_injected_idles
+    }
+
+    /// Captures the whole simulation for later forking: a deep copy of all
+    /// mutable state, sharing the immutable thermal topology via `Arc`.
+    ///
+    /// Taking one snapshot and [`fork`](SystemSnapshot::fork)ing it N
+    /// times is how a parameter sweep reuses a common warmup prefix: every
+    /// fork resumes from the captured instant bit-identically to a run
+    /// that never stopped.
+    pub fn snapshot(&self) -> SystemSnapshot {
+        SystemSnapshot {
+            state: self.clone(),
+        }
     }
 
     /// Spawns a thread; it becomes runnable (or sleeps/exits) immediately
@@ -874,7 +916,7 @@ mod tests {
 
     /// A probabilistic injection hook for exercising the mechanism from
     /// this crate's tests (the real policies live in `dimetrodon`).
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct TestInjector {
         p: f64,
         quantum: SimDuration,
@@ -951,7 +993,7 @@ mod tests {
 
     #[test]
     fn sleeping_thread_wakes_and_runs() {
-        #[derive(Debug)]
+        #[derive(Debug, Clone)]
         struct SleepThenWork {
             phase: u32,
         }
@@ -1148,7 +1190,7 @@ mod tests {
         // A single periodic hot thread: without placement it lands on
         // core 0 every wake (queue order); with thermal-aware placement
         // it rotates to the coolest die, so the hottest die stays cooler.
-        #[derive(Debug)]
+        #[derive(Debug, Clone)]
         struct PulsedBurn {
             working: bool,
             left: SimDuration,
@@ -1358,7 +1400,7 @@ mod tests {
         struct KindRecorder {
             kernel_seen: std::cell::Cell<bool>,
         }
-        #[derive(Debug)]
+        #[derive(Debug, Clone)]
         struct RecordingHook(std::rc::Rc<KindRecorder>);
         impl SchedHook for RecordingHook {
             fn on_schedule(&mut self, ctx: &ScheduleContext<'_>) -> Decision {

@@ -46,7 +46,9 @@ mod linalg;
 mod network;
 mod response;
 mod rk4;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub mod simd;
 
-pub use network::{NodeId, ThermalError, ThermalNetwork, ThermalNetworkBuilder};
+pub use network::{NodeId, ThermalError, ThermalNetwork, ThermalNetworkBuilder, ThermalSnapshot};
 pub use response::{cooling_drop, cooling_efficiency, step_response};
 pub use rk4::rk4_reference;

@@ -15,8 +15,24 @@
 //! node, and second-order accurate for networks at the sub-time-constant
 //! steps used here — which matters because the scheduler calls the model
 //! with irregular, event-driven step sizes.
+//!
+//! # Layout
+//!
+//! The immutable description of the network — node names, capacitances,
+//! the conductance structure, and everything derived from it — lives in a
+//! [`Topology`] behind an `Arc`. The [`ThermalNetwork`] itself carries only
+//! the mutable state (temperatures, powers, integrator workspace), so
+//! cloning a network for a forked simulation copies a few small `Vec<f64>`s
+//! and bumps a reference count instead of duplicating the matrix.
+//!
+//! The conductance matrix is stored packed (compressed sparse rows, columns
+//! ascending) because realistic die/hotspot/package topologies are sparse:
+//! the substep cost scales with the number of edges, not `n²`. A padded
+//! slot-major copy of the same structure feeds the optional SIMD kernel
+//! (`simd` cargo feature); the scalar path never reads it.
 
 use std::fmt;
+use std::sync::Arc;
 
 use dimetrodon_sim_core::SimDuration;
 
@@ -85,6 +101,43 @@ impl fmt::Display for ThermalError {
 }
 
 impl std::error::Error for ThermalError {}
+
+/// The immutable part of a thermal network, shared between forks via `Arc`.
+///
+/// Everything in here is a pure function of the builder's inputs: the
+/// packed conductance structure, the per-node totals, the substep bound and
+/// its precomputed decay factors, and the assembled steady-state matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Topology {
+    pub(crate) names: Vec<String>,
+    pub(crate) capacitances: Vec<f64>,
+    /// Packed symmetric conductance matrix (CSR). Row `i`'s entries live at
+    /// `row_offsets[i]..row_offsets[i + 1]`, columns strictly ascending.
+    pub(crate) row_offsets: Vec<u32>,
+    pub(crate) cols: Vec<u32>,
+    pub(crate) vals: Vec<f64>,
+    pub(crate) ambient_conductance: Vec<f64>,
+    /// Cached per-node sum of incident conductances.
+    pub(crate) total_conductance: Vec<f64>,
+    pub(crate) ambient_celsius: f64,
+    pub(crate) max_substep: SimDuration,
+    /// `max_substep` in seconds, exactly as `advance` will pass it down.
+    pub(crate) max_substep_s: f64,
+    /// Per-node decay factors for a full-length substep, precomputed once;
+    /// nearly every substep is `max_substep` long.
+    pub(crate) decay_max: Vec<f64>,
+    /// The assembled steady-state conductance matrix `G` of `G·T = rhs`.
+    /// Assembly order matches the historical per-call construction, so
+    /// solves produce bit-identical results.
+    pub(crate) steady_matrix: Matrix,
+    /// Slot-major padded copy of the CSR structure for the SIMD kernel:
+    /// slot `k` of node `i` is at `k * n + i`. Padding slots carry the
+    /// node's own column and a zero conductance, so gathers stay in bounds
+    /// and contribute exactly `±0.0`.
+    pub(crate) ell_slots: usize,
+    pub(crate) ell_cols: Vec<i64>,
+    pub(crate) ell_vals: Vec<f64>,
+}
 
 /// Builder for a [`ThermalNetwork`].
 ///
@@ -193,8 +246,8 @@ impl ThermalNetworkBuilder {
             }
         }
 
-        // Adjacency with summed conductances, stored row-major (the
-        // integrator walks whole rows every substep).
+        // Dense adjacency with summed conductances, used only at build time
+        // to validate and to derive the packed structure.
         let mut conductance = vec![0.0f64; n * n];
         for &(a, b, g) in &self.edges {
             conductance[a * n + b] += g;
@@ -231,6 +284,51 @@ impl ThermalNetworkBuilder {
             .map(|i| conductance[i * n..(i + 1) * n].iter().sum::<f64>() + ambient_conductance[i])
             .collect();
 
+        // Pack the dense adjacency into CSR with ascending columns. The
+        // substep accumulates a row's products in the same left-to-right
+        // order as the old dense walk; the skipped entries were exact zeros
+        // whose products contribute `±0.0`, so the packed sum is
+        // bit-identical for any physical temperature vector.
+        let mut row_offsets = Vec::with_capacity(n + 1);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        row_offsets.push(0u32);
+        for i in 0..n {
+            for j in 0..n {
+                let g = conductance[i * n + j];
+                // simlint::allow(D4): exact zero-skip on purpose — only
+                // entries whose product is exactly ±0.0 are dropped, which
+                // keeps the packed sum bit-identical to the dense walk.
+                if g != 0.0 {
+                    cols.push(j as u32);
+                    vals.push(g);
+                }
+            }
+            row_offsets.push(cols.len() as u32);
+        }
+
+        // Slot-major padded (ELLPACK) mirror of the CSR structure for the
+        // SIMD kernel: lane = node, slot = neighbour rank. Padding repeats
+        // the node's own index with zero conductance.
+        let ell_slots = (0..n)
+            .map(|i| (row_offsets[i + 1] - row_offsets[i]) as usize)
+            .max()
+            .unwrap_or(0);
+        let mut ell_cols = vec![0i64; ell_slots * n];
+        let mut ell_vals = vec![0.0f64; ell_slots * n];
+        for i in 0..n {
+            let (start, end) = (row_offsets[i] as usize, row_offsets[i + 1] as usize);
+            for k in 0..ell_slots {
+                let (c, v) = if start + k < end {
+                    (cols[start + k] as i64, vals[start + k])
+                } else {
+                    (i as i64, 0.0)
+                };
+                ell_cols[k * n + i] = c;
+                ell_vals[k * n + i] = v;
+            }
+        }
+
         // The shortest local time constant bounds the internal substep.
         // Exponential Euler is unconditionally stable and exact per node;
         // a quarter of the fastest time constant keeps the coupling error
@@ -238,17 +336,44 @@ impl ThermalNetworkBuilder {
         let min_tau = (0..n)
             .map(|i| self.capacitances[i] / total_conductance[i])
             .fold(f64::INFINITY, f64::min);
+        let max_substep = SimDuration::from_secs_f64(min_tau / 4.0);
+        let max_substep_s = max_substep.as_secs_f64();
+        let decay_max: Vec<f64> = (0..n)
+            .map(|i| (-total_conductance[i] * max_substep_s / self.capacitances[i]).exp())
+            .collect();
 
-        Ok(ThermalNetwork {
+        // Assemble the steady-state matrix once; only the right-hand side
+        // depends on the powers. Same element order as the historical
+        // per-call assembly, so solves stay bit-identical.
+        let mut steady_matrix = Matrix::zeros(n);
+        for i in 0..n {
+            steady_matrix.set(i, i, total_conductance[i]);
+            for k in row_offsets[i] as usize..row_offsets[i + 1] as usize {
+                steady_matrix.add_to(i, cols[k] as usize, -vals[k]);
+            }
+        }
+
+        let topology = Topology {
             names: self.names.clone(),
             capacitances: self.capacitances.clone(),
-            conductance,
+            row_offsets,
+            cols,
+            vals,
             ambient_conductance,
             total_conductance,
             ambient_celsius: self.ambient_celsius,
+            max_substep,
+            max_substep_s,
+            decay_max,
+            steady_matrix,
+            ell_slots,
+            ell_cols,
+            ell_vals,
+        };
+        Ok(ThermalNetwork {
+            topo: Arc::new(topology),
             temperatures: vec![self.ambient_celsius; n],
             powers: vec![0.0; n],
-            max_substep: SimDuration::from_secs_f64(min_tau / 4.0),
             scratch: vec![self.ambient_celsius; n],
             decay: vec![0.0; n],
             decay_dt_s: f64::NAN,
@@ -263,25 +388,22 @@ impl ThermalNetworkBuilder {
 /// [`advance`](ThermalNetwork::advance) the network through time; power is treated as
 /// constant for the duration of each `advance` call, matching the
 /// piecewise-constant power profile of a discrete-event machine model.
+///
+/// Cloning is cheap: the topology (names, conductance structure, derived
+/// caches) is shared via `Arc`, and only the mutable state — temperatures,
+/// powers, integrator workspace — is deep-copied. For an even lighter
+/// checkpoint of just the observable state, see
+/// [`snapshot`](ThermalNetwork::snapshot) / [`restore`](ThermalNetwork::restore).
 #[derive(Debug, Clone)]
 pub struct ThermalNetwork {
-    names: Vec<String>,
-    capacitances: Vec<f64>,
-    /// `conductance[i * n + j]`: W/K between nodes i and j (symmetric,
-    /// row-major).
-    conductance: Vec<f64>,
-    ambient_conductance: Vec<f64>,
-    /// Cached per-node sum of incident conductances.
-    total_conductance: Vec<f64>,
-    ambient_celsius: f64,
+    pub(crate) topo: Arc<Topology>,
     temperatures: Vec<f64>,
     powers: Vec<f64>,
-    max_substep: SimDuration,
     /// Integrator workspace: the previous substep's temperatures.
     scratch: Vec<f64>,
-    /// Per-node decay factors for a substep of `decay_dt_s` seconds.
-    /// Nearly every substep is `max_substep` long, so the `exp()`s are
-    /// computed once and reused.
+    /// Per-node decay factors for an *irregular* substep of `decay_dt_s`
+    /// seconds (a remainder shorter than `max_substep`); the common
+    /// full-length factors live precomputed in the topology.
     decay: Vec<f64>,
     decay_dt_s: f64,
 }
@@ -289,22 +411,27 @@ pub struct ThermalNetwork {
 impl PartialEq for ThermalNetwork {
     fn eq(&self, other: &Self) -> bool {
         // The integrator workspace (`scratch`, `decay`, `decay_dt_s`) is
-        // not part of the network's observable state.
-        self.names == other.names
-            && self.capacitances == other.capacitances
-            && self.conductance == other.conductance
-            && self.ambient_conductance == other.ambient_conductance
-            && self.ambient_celsius == other.ambient_celsius
+        // not part of the network's observable state. Topologies compare
+        // by value, so independently built identical networks are equal.
+        (Arc::ptr_eq(&self.topo, &other.topo) || self.topo == other.topo)
             && self.temperatures == other.temperatures
             && self.powers == other.powers
-            && self.max_substep == other.max_substep
     }
+}
+
+/// A checkpoint of a [`ThermalNetwork`]'s observable state: temperatures
+/// and powers. Pair with [`ThermalNetwork::restore`] to rewind a network
+/// to a recorded instant without rebuilding its topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalSnapshot {
+    temperatures: Vec<f64>,
+    powers: Vec<f64>,
 }
 
 impl ThermalNetwork {
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.names.len()
+        self.topo.names.len()
     }
 
     /// The name a node was registered with.
@@ -313,17 +440,17 @@ impl ThermalNetwork {
     ///
     /// Panics if `node` is not from this network.
     pub fn node_name(&self, node: NodeId) -> &str {
-        &self.names[node.0]
+        &self.topo.names[node.0]
     }
 
     /// Node ids in insertion order.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
-        (0..self.names.len()).map(NodeId)
+        (0..self.topo.names.len()).map(NodeId)
     }
 
     /// The fixed ambient temperature in °C.
     pub fn ambient_celsius(&self) -> f64 {
-        self.ambient_celsius
+        self.topo.ambient_celsius
     }
 
     /// Current temperature of a node in °C.
@@ -354,9 +481,50 @@ impl ThermalNetwork {
         self.powers[node.0]
     }
 
+    /// The integrator's internal substep bound: a quarter of the fastest
+    /// local time constant.
+    pub fn max_substep(&self) -> SimDuration {
+        self.topo.max_substep
+    }
+
+    /// Whether two networks share one topology allocation (i.e. one was
+    /// cloned or forked from the other). Value-equal but independently
+    /// built networks return `false`.
+    pub fn shares_topology(&self, other: &ThermalNetwork) -> bool {
+        Arc::ptr_eq(&self.topo, &other.topo)
+    }
+
+    /// Captures the observable state (temperatures and powers).
+    pub fn snapshot(&self) -> ThermalSnapshot {
+        ThermalSnapshot {
+            temperatures: self.temperatures.clone(),
+            powers: self.powers.clone(),
+        }
+    }
+
+    /// Rewinds the network to a previously captured snapshot.
+    ///
+    /// The integrator's decay cache is keyed only by substep length, never
+    /// by temperatures or powers, so restoring state mid-flight cannot
+    /// stale it — advancing after a restore is bit-identical to advancing
+    /// a fresh network from the same state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's node count differs from this network's.
+    pub fn restore(&mut self, snapshot: &ThermalSnapshot) {
+        assert_eq!(
+            snapshot.temperatures.len(),
+            self.temperatures.len(),
+            "snapshot node count mismatch"
+        );
+        self.temperatures.copy_from_slice(&snapshot.temperatures);
+        self.powers.copy_from_slice(&snapshot.powers);
+    }
+
     /// Advances the network by `dt` under the currently set powers.
     ///
-    /// Internally sub-steps at an eighth of the fastest local time constant
+    /// Internally sub-steps at a quarter of the fastest local time constant
     /// so accuracy does not depend on the caller's event granularity.
     pub fn advance(&mut self, dt: SimDuration) {
         if dt.is_zero() {
@@ -372,14 +540,14 @@ impl ThermalNetwork {
             self.temperatures
                 .iter()
                 .copied()
-                .fold(self.ambient_celsius, f64::min)
+                .fold(self.topo.ambient_celsius, f64::min)
                 - 1e-6
         } else {
             f64::NEG_INFINITY
         };
         let mut remaining = dt;
         while !remaining.is_zero() {
-            let step = remaining.min(self.max_substep);
+            let step = remaining.min(self.topo.max_substep);
             self.substep(step.as_secs_f64());
             remaining = remaining.saturating_sub(step);
         }
@@ -397,30 +565,33 @@ impl ThermalNetwork {
     /// One exponential-Euler substep of `dt_s` seconds.
     ///
     /// Allocation-free: the previous temperatures live in a swapped
-    /// scratch buffer, and the per-node `exp()` decay factors are cached
-    /// across substeps of the same length.
+    /// scratch buffer. Full-length substeps use the decay factors
+    /// precomputed in the topology; irregular remainders fall back to a
+    /// per-network cache keyed by the substep length.
     fn substep(&mut self, dt_s: f64) {
         let n = self.temperatures.len();
-        if dt_s != self.decay_dt_s {
+        let full_step = dt_s == self.topo.max_substep_s;
+        if !full_step && dt_s != self.decay_dt_s {
             for i in 0..n {
                 self.decay[i] =
-                    (-self.total_conductance[i] * dt_s / self.capacitances[i]).exp();
+                    (-self.topo.total_conductance[i] * dt_s / self.topo.capacitances[i]).exp();
             }
             self.decay_dt_s = dt_s;
         }
         std::mem::swap(&mut self.temperatures, &mut self.scratch);
-        let old = &self.scratch;
-        for i in 0..n {
-            let g_tot = self.total_conductance[i];
-            let neighbour_heat: f64 = self.conductance[i * n..(i + 1) * n]
-                .iter()
-                .zip(old)
-                .map(|(&g, &t)| g * t)
-                .sum::<f64>()
-                + self.ambient_conductance[i] * self.ambient_celsius;
-            let t_eq = (self.powers[i] + neighbour_heat) / g_tot;
-            self.temperatures[i] = t_eq + (old[i] - t_eq) * self.decay[i];
+        let topo = &*self.topo;
+        let decay: &[f64] = if full_step { &topo.decay_max } else { &self.decay };
+        let old: &[f64] = &self.scratch;
+        let new: &mut [f64] = &mut self.temperatures;
+
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if crate::simd::avx2_active() {
+            // Safety: avx2_active() verified the CPU supports AVX2.
+            unsafe { crate::simd::substep_avx2(topo, old, &self.powers, decay, new) };
+            return;
         }
+
+        scalar_substep(topo, old, &self.powers, decay, new);
     }
 
     /// Total power currently injected across all nodes, in watts.
@@ -435,25 +606,24 @@ impl ThermalNetwork {
     /// The steady-state temperatures under the currently set powers,
     /// computed directly from the conductance matrix (no time stepping).
     ///
+    /// The matrix itself depends only on the topology and is assembled once
+    /// at build time; each call builds the power-dependent right-hand side
+    /// and solves.
+    ///
     /// # Panics
     ///
     /// Panics if the conductance matrix is singular, which
     /// [`ThermalNetworkBuilder::build`] makes impossible (every node is
     /// grounded to ambient).
     pub fn steady_state(&self) -> Vec<f64> {
-        let n = self.temperatures.len();
-        let mut matrix = Matrix::zeros(n);
-        let mut rhs = vec![0.0; n];
-        for (i, rhs_i) in rhs.iter_mut().enumerate() {
-            matrix.set(i, i, self.total_conductance[i]);
-            for j in 0..n {
-                if i != j && self.conductance[i * n + j] > 0.0 {
-                    matrix.add_to(i, j, -self.conductance[i * n + j]);
-                }
-            }
-            *rhs_i = self.powers[i] + self.ambient_conductance[i] * self.ambient_celsius;
-        }
-        matrix
+        let topo = &*self.topo;
+        let rhs: Vec<f64> = self
+            .powers
+            .iter()
+            .zip(&topo.ambient_conductance)
+            .map(|(&p, &g)| p + g * topo.ambient_celsius)
+            .collect();
+        topo.steady_matrix
             .solve(&rhs)
             // simlint::allow(R1): documented panic — the builder grounds
             // every node to ambient, making the matrix diagonally dominant
@@ -471,7 +641,7 @@ impl ThermalNetwork {
     /// Resets every node to ambient temperature and clears all powers.
     pub fn reset(&mut self) {
         for t in &mut self.temperatures {
-            *t = self.ambient_celsius;
+            *t = self.topo.ambient_celsius;
         }
         for p in &mut self.powers {
             *p = 0.0;
@@ -493,7 +663,7 @@ impl ThermalNetwork {
     /// time constant is what makes short idle quanta disproportionately
     /// effective (paper §3.4, Figure 3).
     pub fn local_time_constant(&self, node: NodeId) -> f64 {
-        self.capacitances[node.0] / self.total_conductance[node.0]
+        self.topo.capacitances[node.0] / self.topo.total_conductance[node.0]
     }
 
     /// The temperature derivative `dT/dt = C⁻¹(P − G·ΔT)` evaluated at an
@@ -504,16 +674,17 @@ impl ThermalNetwork {
     ///
     /// Panics if `temps` does not have one entry per node.
     pub fn heat_flow_derivative(&self, temps: &[f64]) -> Vec<f64> {
+        let topo = &*self.topo;
         let n = self.temperatures.len();
         assert_eq!(temps.len(), n, "temperature vector length mismatch");
         (0..n)
             .map(|i| {
-                let neighbour: f64 = (0..n)
-                    .map(|j| self.conductance[i * n + j] * (temps[j] - temps[i]))
+                let neighbour: f64 = (topo.row_offsets[i] as usize
+                    ..topo.row_offsets[i + 1] as usize)
+                    .map(|k| topo.vals[k] * (temps[topo.cols[k] as usize] - temps[i]))
                     .sum();
-                let ambient =
-                    self.ambient_conductance[i] * (self.ambient_celsius - temps[i]);
-                (self.powers[i] + neighbour + ambient) / self.capacitances[i]
+                let ambient = topo.ambient_conductance[i] * (topo.ambient_celsius - temps[i]);
+                (self.powers[i] + neighbour + ambient) / topo.capacitances[i]
             })
             .collect()
     }
@@ -522,8 +693,8 @@ impl ThermalNetwork {
     pub fn heat_to_ambient(&self) -> f64 {
         self.temperatures
             .iter()
-            .zip(&self.ambient_conductance)
-            .map(|(&t, &g)| g * (t - self.ambient_celsius))
+            .zip(&self.topo.ambient_conductance)
+            .map(|(&t, &g)| g * (t - self.topo.ambient_celsius))
             .sum()
     }
 
@@ -531,9 +702,35 @@ impl ThermalNetwork {
     pub fn stored_energy(&self) -> f64 {
         self.temperatures
             .iter()
-            .zip(&self.capacitances)
-            .map(|(&t, &c)| c * (t - self.ambient_celsius))
+            .zip(&self.topo.capacitances)
+            .map(|(&t, &c)| c * (t - self.topo.ambient_celsius))
             .sum()
+    }
+}
+
+/// The packed-row scalar kernel: one exponential-Euler substep over CSR.
+///
+/// Accumulates each row's neighbour products left to right, exactly as the
+/// historical dense walk did minus its `±0.0` products, so results are
+/// bit-identical for physical temperatures. Shared by the default build and
+/// the SIMD build's fallback/remainder paths.
+pub(crate) fn scalar_substep(
+    topo: &Topology,
+    old: &[f64],
+    powers: &[f64],
+    decay: &[f64],
+    new: &mut [f64],
+) {
+    for (i, out) in new.iter_mut().enumerate() {
+        let g_tot = topo.total_conductance[i];
+        let mut neighbour_heat = 0.0;
+        for k in topo.row_offsets[i] as usize..topo.row_offsets[i + 1] as usize {
+            neighbour_heat += topo.vals[k] * old[topo.cols[k] as usize];
+        }
+        let neighbour_heat =
+            neighbour_heat + topo.ambient_conductance[i] * topo.ambient_celsius;
+        let t_eq = (powers[i] + neighbour_heat) / g_tot;
+        *out = t_eq + (old[i] - t_eq) * decay[i];
     }
 }
 
@@ -794,6 +991,79 @@ mod tests {
         }
     }
 
+    #[test]
+    fn clone_shares_topology() {
+        let (net, _, _) = two_pole();
+        let fork = net.clone();
+        assert!(net.shares_topology(&fork));
+        assert_eq!(net, fork);
+        // Independently built twins are value-equal but not shared.
+        let (twin, _, _) = two_pole();
+        assert!(!net.shares_topology(&twin));
+        assert_eq!(net, twin);
+    }
+
+    #[test]
+    fn packed_rows_mirror_dense_structure() {
+        // two_pole: die--pkg edge only => each row has exactly one entry.
+        let (net, _, _) = two_pole();
+        let topo = &*net.topo;
+        assert_eq!(topo.row_offsets, vec![0, 1, 2]);
+        assert_eq!(topo.cols, vec![1, 0]);
+        assert_eq!(topo.vals, vec![2.0, 2.0]);
+        assert_eq!(topo.ell_slots, 1);
+        assert_eq!(topo.ell_cols, vec![1, 0]);
+        assert_eq!(topo.ell_vals, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_is_bit_exact() {
+        let (mut net, die, _) = two_pole();
+        net.set_power(die, 40.0);
+        net.advance(SimDuration::from_secs(3));
+        let snap = net.snapshot();
+
+        // Run forward from the snapshot and record the trajectory.
+        let mut first = net.clone();
+        first.advance(SimDuration::from_secs(5));
+
+        // Diverge (different power, different substep remainders, which
+        // also pollutes the decay cache), then rewind and replay.
+        net.set_power(die, 5.0);
+        net.advance(SimDuration::from_secs_f64(1.2345));
+        net.restore(&snap);
+        net.advance(SimDuration::from_secs(5));
+
+        for (a, b) in net.temperatures().iter().zip(first.temperatures()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn decay_cache_invalidated_across_substep_lengths() {
+        // Interleave advances whose remainders require different decay
+        // factors; a stale cache would reuse the wrong exp(). Compare
+        // against fresh clones that compute each length cold.
+        let (mut warm, die, _) = two_pole();
+        warm.set_power(die, 40.0);
+        let base = warm.clone();
+        let durations = [0.017, 0.003, 0.017, 0.0501, 0.003];
+        let mut elapsed = Vec::new();
+        for &secs in &durations {
+            elapsed.push(secs);
+            warm.advance(SimDuration::from_secs_f64(secs));
+            // A cold network replaying the same sequence from scratch must
+            // land on identical bits even though its cache history differs.
+            let mut cold = base.clone();
+            for &s in &elapsed {
+                cold.advance(SimDuration::from_secs_f64(s));
+            }
+            for (a, b) in warm.temperatures().iter().zip(cold.temperatures()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "after {elapsed:?}: {a} vs {b}");
+            }
+        }
+    }
+
     proptest! {
         // The integration proptests advance hundreds of simulated seconds
         // per case; a few dozen cases give the coverage without minutes of
@@ -839,6 +1109,33 @@ mod tests {
             net.advance(SimDuration::from_secs(3000));
             prop_assert!((net.temperature(die) - ss[0]).abs() < 0.1);
             prop_assert!((net.temperature(pkg) - ss[1]).abs() < 0.1);
+        }
+
+        /// Snapshot → restore → advance matches an uninterrupted run
+        /// bit-for-bit for arbitrary power/duration splits.
+        #[test]
+        fn prop_restore_then_advance_is_bit_identical(
+            power in 0.0f64..150.0,
+            pre_ms in 1u64..5_000,
+            post_ms in 1u64..5_000,
+            detour_ms in 1u64..5_000,
+        ) {
+            let (mut net, die, _) = two_pole();
+            net.set_power(die, power);
+            net.advance(SimDuration::from_millis(pre_ms));
+            let snap = net.snapshot();
+
+            let mut straight = net.clone();
+            straight.advance(SimDuration::from_millis(post_ms));
+
+            net.set_power(die, power * 0.5);
+            net.advance(SimDuration::from_millis(detour_ms));
+            net.restore(&snap);
+            net.advance(SimDuration::from_millis(post_ms));
+
+            for (a, b) in net.temperatures().iter().zip(straight.temperatures()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 }

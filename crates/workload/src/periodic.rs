@@ -72,7 +72,9 @@ impl CycleCounter {
 /// assert_eq!(cycles.completed(), 0);
 /// # let _ = body;
 /// ```
-#[derive(Debug)]
+// Clone shares the `CycleCounter` handle: forks report completions into
+// the same counters the harness is already watching.
+#[derive(Debug, Clone)]
 pub struct PeriodicBurn {
     work: SimDuration,
     sleep: SimDuration,
