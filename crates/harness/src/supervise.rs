@@ -679,7 +679,6 @@ pub fn run_supervised(points: &[SweepPoint], config: &SupervisorConfig) -> Vec<P
             return PointOutcome::Ok(outcome.clone());
         }
         if let Some(budget) = config.sweep_budget {
-            // simlint::allow(D1): see module docs — budget check only.
             if start.elapsed() >= budget {
                 record_incident(Incident {
                     sweep: sweep_label.clone(),

@@ -138,10 +138,15 @@ enum CombinedState {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Machine {
+    // simlint::shared: immutable after construction; snapshots capture
+    // only mutable state and may only be restored onto the same config.
     config: MachineConfig,
     network: ThermalNetwork,
+    // simlint::shared: node indices derived from the immutable topology.
     die_nodes: Vec<NodeId>,
+    // simlint::shared: node indices derived from the immutable topology.
     hotspot_nodes: Vec<NodeId>,
+    // simlint::shared: node index derived from the immutable topology.
     package_node: NodeId,
     core_states: Vec<CoreState>,
     pstate: PStateId,
@@ -163,6 +168,7 @@ pub struct Machine {
     energy: EnergyMeter,
     /// Reusable buffer for per-physical-core powers inside `advance`, so
     /// the hot path neither allocates nor evaluates the power model twice.
+    // simlint::shared: scratch, fully overwritten before every use.
     power_scratch: Vec<f64>,
 }
 

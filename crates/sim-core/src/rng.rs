@@ -125,6 +125,9 @@ impl SimRng {
     /// Derives an independent child generator; used to give each trial,
     /// thread, or subsystem its own stream so that adding draws in one
     /// place does not perturb another.
+    // simlint::allow(S1): fork() derives a *fresh* child stream rather
+    // than copying this one — the child's Box–Muller cache must start
+    // empty. The deep-copy path for SimRng is `#[derive(Clone)]`.
     pub fn fork(&mut self, salt: u64) -> SimRng {
         let seed = self.inner.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::new(seed)

@@ -1,0 +1,471 @@
+//! A small hand-rolled Rust lexer: the syntax-aware core of simlint.
+//!
+//! Every rule — line-level or item-level — operates on the token stream
+//! this module produces, so comments, string/char literals, raw strings,
+//! and lifetimes are classified exactly once and every downstream check
+//! inherits the same treatment. Tokens carry byte spans and 1-based line
+//! numbers; the invariants the property tests pin are:
+//!
+//! * spans are sorted, disjoint, and in-bounds;
+//! * `&src[start..end]` reproduces each token's text exactly;
+//! * every byte outside all spans is whitespace.
+//!
+//! The lexer never fails: unterminated strings or comments extend to end
+//! of file, and any unclassifiable byte becomes a one-character
+//! [`TokenKind::Punct`] token.
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `System`, `r#type`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (`42`, `1.0e-9`, `0xFF`, `3f64`).
+    Num,
+    /// String literal, including raw (`r#"…"#`) and byte (`b"…"`) forms.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// A single punctuation character.
+    Punct,
+    /// `// …` comment, including `///` and `//!` doc comments.
+    LineComment,
+    /// `/* … */` comment (nesting tracked), including `/** … */`.
+    BlockComment,
+}
+
+/// One token with its byte span and starting line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// True for both comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Character stream with byte offsets.
+struct Cursor {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    len: usize,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Self {
+        Cursor {
+            chars: src.char_indices().collect(),
+            pos: 0,
+            len: src.len(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte(&self) -> usize {
+        self.chars.get(self.pos).map_or(self.len, |&(b, _)| b)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+}
+
+/// True if `c` can start an identifier.
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+/// True if `c` can continue an identifier.
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenizes `src`. Whitespace is the only text not covered by a token.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    // Line starts, for O(log n) line lookup per token.
+    let mut line_starts = vec![0usize];
+    for (i, b) in src.bytes().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |byte: usize| -> usize {
+        match line_starts.binary_search(&byte) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    };
+
+    while !cur.eof() {
+        let c = cur.peek(0).unwrap_or(' ');
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let start = cur.byte();
+        let kind = if c == '/' && cur.peek(1) == Some('/') {
+            lex_line_comment(&mut cur)
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            lex_block_comment(&mut cur)
+        } else if c == '"' {
+            cur.bump();
+            lex_string_body(&mut cur, false, 0);
+            TokenKind::Str
+        } else if (c == 'r' || c == 'b') && raw_or_byte_string_ahead(&cur) {
+            lex_prefixed_literal(&mut cur)
+        } else if c == '\'' {
+            lex_quote(&mut cur)
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur);
+            TokenKind::Num
+        } else if is_ident_start(c) {
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            TokenKind::Ident
+        } else {
+            cur.bump();
+            TokenKind::Punct
+        };
+        let end = cur.byte();
+        out.push(Token {
+            kind,
+            start,
+            end,
+            line: line_of(start),
+        });
+    }
+    out
+}
+
+fn lex_line_comment(cur: &mut Cursor) -> TokenKind {
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        cur.bump();
+    }
+    TokenKind::LineComment
+}
+
+fn lex_block_comment(cur: &mut Cursor) -> TokenKind {
+    cur.bump(); // '/'
+    cur.bump(); // '*'
+    let mut depth = 1usize;
+    while depth > 0 && !cur.eof() {
+        if cur.peek(0) == Some('*') && cur.peek(1) == Some('/') {
+            cur.bump();
+            cur.bump();
+            depth -= 1;
+        } else if cur.peek(0) == Some('/') && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            depth += 1;
+        } else {
+            cur.bump();
+        }
+    }
+    TokenKind::BlockComment
+}
+
+/// Looks ahead from an `r`/`b` for a raw/byte string or byte-char prefix:
+/// up to two prefix letters, then `#`* and `"`, or `'` for `b'x'`.
+fn raw_or_byte_string_ahead(cur: &Cursor) -> bool {
+    let mut j = 0usize;
+    while matches!(cur.peek(j), Some('r') | Some('b')) {
+        j += 1;
+        if j > 2 {
+            return false;
+        }
+    }
+    if cur.peek(0) == Some('b') && j == 1 && cur.peek(1) == Some('\'') {
+        return true; // byte char b'x'
+    }
+    let mut hashes = 0usize;
+    while cur.peek(j + hashes) == Some('#') {
+        hashes += 1;
+    }
+    cur.peek(j + hashes) == Some('"')
+}
+
+/// Consumes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, or `b'…'`.
+fn lex_prefixed_literal(cur: &mut Cursor) -> TokenKind {
+    let mut raw = false;
+    while matches!(cur.peek(0), Some('r') | Some('b')) {
+        if cur.peek(0) == Some('r') {
+            raw = true;
+        }
+        cur.bump();
+    }
+    if cur.peek(0) == Some('\'') {
+        // b'x' byte char: reuse the char scanner past the opening quote.
+        cur.bump();
+        lex_char_body(cur);
+        return TokenKind::Char;
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening '"'
+    lex_string_body(cur, raw, hashes);
+    TokenKind::Str
+}
+
+/// Consumes a string body up to and including its closing quote (raw
+/// strings need `hashes` trailing `#`s to close). Unterminated bodies run
+/// to end of file.
+fn lex_string_body(cur: &mut Cursor, raw: bool, hashes: usize) {
+    while let Some(c) = cur.peek(0) {
+        if !raw && c == '\\' {
+            cur.bump();
+            cur.bump();
+            continue;
+        }
+        if c == '"' {
+            if raw {
+                let mut k = 0usize;
+                while k < hashes && cur.peek(1 + k) == Some('#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    cur.bump();
+                    for _ in 0..hashes {
+                        cur.bump();
+                    }
+                    return;
+                }
+                cur.bump();
+                continue;
+            }
+            cur.bump();
+            return;
+        }
+        cur.bump();
+    }
+}
+
+/// Past an opening `'`, consumes a char body and its closing quote.
+fn lex_char_body(cur: &mut Cursor) {
+    if cur.peek(0) == Some('\\') {
+        cur.bump();
+        cur.bump();
+        while cur.peek(0).is_some_and(|c| c != '\'') {
+            cur.bump();
+        }
+        cur.bump();
+    } else {
+        cur.bump(); // the char itself
+        if cur.peek(0) == Some('\'') {
+            cur.bump();
+        }
+    }
+}
+
+/// Disambiguates `'x'` (char) from `'a` (lifetime) at an opening `'`.
+fn lex_quote(cur: &mut Cursor) -> TokenKind {
+    let next = cur.peek(1);
+    if next == Some('\\') {
+        cur.bump();
+        lex_char_body(cur);
+        return TokenKind::Char;
+    }
+    if next.is_some_and(is_ident_continue) && cur.peek(2) != Some('\'') {
+        // Lifetime: `'` then identifier characters, no closing quote.
+        cur.bump();
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        return TokenKind::Lifetime;
+    }
+    cur.bump();
+    lex_char_body(cur);
+    TokenKind::Char
+}
+
+/// Consumes a numeric literal. `.` continues the number only when followed
+/// by a digit, so range expressions (`0..10`) and method calls on
+/// literals (`1.max(2)`) terminate correctly; `e`/`E` exponents may carry
+/// a sign.
+fn lex_number(cur: &mut Cursor) {
+    let mut prev = ' ';
+    while let Some(c) = cur.peek(0) {
+        let take = if c.is_ascii_alphanumeric() || c == '_' {
+            true
+        } else if c == '.' {
+            cur.peek(1).is_some_and(|d| d.is_ascii_digit())
+        } else {
+            (c == '+' || c == '-') && matches!(prev, 'e' | 'E')
+        };
+        if !take {
+            break;
+        }
+        prev = c;
+        cur.bump();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    /// The span invariants the property test generalizes.
+    fn assert_span_invariants(src: &str) {
+        let tokens = lex(src);
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            assert!(t.start >= prev_end, "overlap at {t:?}");
+            assert!(t.end <= src.len() && t.start < t.end || t.start == t.end);
+            assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+            for c in src[prev_end..t.start].chars() {
+                assert!(c.is_whitespace(), "non-whitespace gap before {t:?}");
+            }
+            prev_end = t.end;
+        }
+        for c in src[prev_end..].chars() {
+            assert!(c.is_whitespace(), "non-whitespace tail");
+        }
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let got = kinds("fn f(x: u64) -> f64 { x as f64 }");
+        assert_eq!(got[0], (TokenKind::Ident, "fn".to_string()));
+        assert!(got.iter().all(|(k, _)| *k != TokenKind::Str));
+        assert_span_invariants("fn f(x: u64) -> f64 { x as f64 }");
+    }
+
+    #[test]
+    fn comments_and_docs() {
+        let src = "/// doc\nfn f() {} // tail\n/* block\nstill */ fn g() {}";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert_eq!(toks[0].text(src), "/// doc");
+        let block = toks.iter().find(|t| t.kind == TokenKind::BlockComment);
+        assert!(block.is_some_and(|t| t.text(src).contains("still")));
+        assert_span_invariants(src);
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_token() {
+        let src = "a /* outer /* inner */ outer */ b";
+        let toks = lex(src);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].kind, TokenKind::BlockComment);
+        assert_span_invariants(src);
+    }
+
+    #[test]
+    fn strings_raw_and_byte() {
+        for src in [
+            "let s = \"a \\\" b\";",
+            "let s = r\"no escape \\\";",
+            "let s = r#\"quote \" inside\"#;",
+            "let s = b\"bytes\";",
+            "let s = br##\"x \"# y\"##;",
+        ] {
+            let toks = lex(src);
+            assert_eq!(
+                toks.iter().filter(|t| t.kind == TokenKind::Str).count(),
+                1,
+                "{src}"
+            );
+            assert_span_invariants(src);
+        }
+    }
+
+    #[test]
+    fn chars_and_lifetimes() {
+        let src = "fn f<'a>(c: char) -> bool { c == '{' || c == '\\n' || c == b'x' }";
+        let toks = lex(src);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Char).count(),
+            3
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            1
+        );
+        assert_span_invariants(src);
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_raw_string() {
+        let src = "for x in 0..10 { bar(\"s\"); }";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::Ident);
+        assert_eq!(toks[0].text(src), "for");
+        assert_span_invariants(src);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let src = "let x = 1.0e-9; let r = 0..=10; let h = 0xFF; let f = 3f64; 1.max(2);";
+        let toks = lex(src);
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(nums, vec!["1.0e-9", "0", "10", "0xFF", "3f64", "1", "2"]);
+        assert_span_invariants(src);
+    }
+
+    #[test]
+    fn multiline_string_is_one_token_with_correct_line() {
+        let src = "let a = \"first\nsecond\"; let b = 2;\nlet c = 3;";
+        let toks = lex(src);
+        let s = toks.iter().find(|t| t.kind == TokenKind::Str).expect("str");
+        assert_eq!(s.line, 1);
+        let c3 = toks.iter().rfind(|t| t.kind == TokenKind::Num).expect("num");
+        assert_eq!(c3.line, 3);
+        assert_span_invariants(src);
+    }
+
+    #[test]
+    fn unterminated_constructs_reach_eof() {
+        for src in ["let s = \"open", "/* open", "let c = '"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty());
+            assert_eq!(toks.last().map(|t| t.end), Some(src.len()));
+            assert_span_invariants(src);
+        }
+    }
+}

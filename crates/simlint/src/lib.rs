@@ -3,24 +3,35 @@
 //! The reproduction's headline guarantee is bit-identical results at every
 //! worker count; one stray `HashMap` iteration, wall-clock read, or unseeded
 //! RNG in a hot path silently breaks that. `simlint` is a dependency-free
-//! line scanner that walks the workspace sources and enforces the project
-//! rules with `file:line` diagnostics, rule IDs, severity levels, and
-//! `// simlint::allow(rule-id)` suppressions.
+//! analysis engine over a hand-rolled Rust lexer ([`lexer`]) and item-level
+//! parser ([`parse`]): comments/strings/char literals are handled exactly,
+//! and on top of the per-line D/R/Doc rules the engine enforces item rules —
+//! snapshot coverage (`S1`), unsafe audit (`U1`/`U2`), feature consistency
+//! (`F1`), and dead-suppression detection (`A1`) — with `file:line`
+//! diagnostics, rule IDs, severity levels, and `// simlint::allow(rule-id)`
+//! suppressions.
 //!
-//! The rule set lives in [`rules::Rule`]; which rules apply to which crate
-//! is decided by [`rules_for_crate`] — vendored shims (`proptest`,
-//! `criterion`) and simlint itself are exempt, application crates get a
-//! reduced set, and the result-path library crates get everything.
+//! The rule set lives in [`rules::Rule`]; which rules apply to which crate —
+//! plus where `unsafe` may live and which types the snapshot-coverage
+//! contract governs — is resolved once per crate by
+//! [`policy::policy_for_crate`]. Vendored shims (`proptest`, `criterion`)
+//! and simlint itself are exempt.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod lexer;
+pub mod manifest;
+pub mod parse;
+pub mod policy;
 pub mod rules;
 pub mod scan;
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub use parse::CfgView;
 pub use rules::{Rule, Severity};
 
 /// One lint finding.
@@ -64,6 +75,18 @@ impl Report {
             .filter(|d| effective_severity(d.rule, deny_warnings) == severity)
             .count()
     }
+
+    /// Finding counts per rule, in [`Rule::ALL`] order, zero counts
+    /// omitted.
+    pub fn per_rule_counts(&self) -> Vec<(Rule, usize)> {
+        Rule::ALL
+            .iter()
+            .filter_map(|&rule| {
+                let n = self.diagnostics.iter().filter(|d| d.rule == rule).count();
+                (n > 0).then_some((rule, n))
+            })
+            .collect()
+    }
 }
 
 /// A rule's severity after any `--deny-warnings` promotion.
@@ -75,37 +98,10 @@ pub fn effective_severity(rule: Rule, deny_warnings: bool) -> Severity {
     }
 }
 
-/// Which rules apply to a crate directory under `crates/`.
-///
-/// Policy:
-/// - `sim-core`, `dimetrodon`: the full set, including `Doc1` — these are
-///   the two crates the paper's API surface lives in.
-/// - other result-path library crates (`thermal`, `power`, `machine`,
-///   `sched`, `workload`, `analysis`, `faults`): everything but
-///   `Doc1` (they already build with `#![warn(missing_docs)]`).
-/// - `harness`: the library set plus `R2` — it owns the sweep supervisor,
-///   where a `let _ = ...` on a fallible call silently swallows exactly the
-///   failures supervision exists to surface.
-/// - `cli`: determinism rules (`D2`, `D3`) plus `R2`; an application binary
-///   may read the wall clock for UX and panic at the top level, but must
-///   not discard results.
-/// - `bench`: `D3` plus `R2`; measuring wall-clock time is its entire
-///   purpose, but a dropped `Result` would hide a failed experiment.
-/// - vendored shims (`proptest`, `criterion`) and `simlint` itself: exempt.
+/// Which rules apply to a crate directory under `crates/` (the rule-set
+/// slice of [`policy::policy_for_crate`], kept as a convenience).
 pub fn rules_for_crate(dir_name: &str) -> &'static [Rule] {
-    const FULL: &[Rule] = &[Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::R1, Rule::Doc1];
-    const LIB: &[Rule] = &[Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::R1];
-    const HARNESS: &[Rule] = &[Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::R1, Rule::R2];
-    const APP: &[Rule] = &[Rule::D2, Rule::D3, Rule::R2];
-    const BENCH: &[Rule] = &[Rule::D3, Rule::R2];
-    match dir_name {
-        "sim-core" | "dimetrodon" => FULL,
-        "thermal" | "power" | "machine" | "sched" | "workload" | "analysis" | "faults" => LIB,
-        "harness" => HARNESS,
-        "cli" => APP,
-        "bench" => BENCH,
-        _ => &[],
-    }
+    policy::policy_for_crate(dir_name).rules
 }
 
 /// Per-file exemptions that are part of the policy rather than inline
@@ -115,6 +111,32 @@ pub fn rules_for_crate(dir_name: &str) -> &'static [Rule] {
 /// machinery — it *is* the seeded PRNG the rest of the workspace must use.
 pub fn file_exempt(crate_name: &str, rel_path: &str, rule: Rule) -> bool {
     crate_name == "sim-core" && rel_path.ends_with("rng.rs") && rule == Rule::D3
+}
+
+/// Options controlling a single-source lint (what [`lint_workspace`]
+/// derives from crate policy and manifests, spelled out for fixtures).
+#[derive(Debug, Default)]
+pub struct LintOptions {
+    /// The cfg view (enabled features) to analyze under.
+    pub view: CfgView,
+    /// Types held to the S1 snapshot-coverage contract.
+    pub snapshot_types: Vec<String>,
+    /// Whether `unsafe` is allowlisted for this file. Defaults to `true`
+    /// so `U2` stays quiet unless a caller states a policy.
+    pub unsafe_allowed: bool,
+    /// Declared Cargo features, enabling the `F1` undeclared-cfg check
+    /// when `Some`.
+    pub declared_features: Option<BTreeSet<String>>,
+}
+
+impl LintOptions {
+    /// Options with `unsafe` allowed and no item-rule context.
+    pub fn permissive() -> Self {
+        LintOptions {
+            unsafe_allowed: true,
+            ..LintOptions::default()
+        }
+    }
 }
 
 /// Extracts every rule named by `simlint::allow(...)` in a comment.
@@ -137,59 +159,70 @@ fn parse_allows(comment: &str) -> Vec<Rule> {
     allows
 }
 
-/// True if a cleaned code line carries a `#[cfg(test)]`-style attribute.
-fn is_cfg_test_attr(code: &str) -> bool {
-    code.contains("cfg(test)") || code.contains("cfg(all(test") || code.contains("cfg(any(test")
+/// A raw finding before suppression is applied.
+#[derive(Debug)]
+struct RawFinding {
+    line: usize,
+    rule: Rule,
+    message: String,
 }
 
-/// Lints one file's source text under the given rule set.
-///
-/// `file` is the path recorded in diagnostics; it does not need to exist on
-/// disk, which is what lets the self-tests lint fixture strings.
-pub fn lint_source(file: &str, source: &str, enabled: &[Rule]) -> FileLint {
-    let mut out = FileLint::default();
-    if enabled.is_empty() {
-        return out;
-    }
-    let mut cleaner = scan::Cleaner::new();
-    // Brace depth, and the depths at which #[cfg(test)] blocks opened.
-    let mut depth: i64 = 0;
-    let mut test_stack: Vec<i64> = Vec::new();
-    let mut pending_cfg_test = false;
-    // Suppressions from comment-only lines apply to the next code line.
-    let mut pending_allows: Vec<Rule> = Vec::new();
-    // Doc-comment adjacency for Doc1 (sticky through attributes/blanks).
+/// One `simlint::allow(rule)` occurrence, bound to the line it governs.
+#[derive(Debug)]
+struct AllowSite {
+    /// Line the comment itself is on.
+    decl_line: usize,
+    /// Code line the suppression governs (`None` if the comment trails
+    /// the file and never binds).
+    bound_line: Option<usize>,
+    rule: Rule,
+    used: bool,
+}
+
+/// Everything extracted from one file; crate-level rules (`S1`, `A1`) and
+/// suppression resolution run over these in [`finish_files`].
+#[derive(Debug)]
+struct FileAnalysis {
+    path: PathBuf,
+    label: String,
+    enabled: Vec<Rule>,
+    findings: Vec<RawFinding>,
+    allows: Vec<AllowSite>,
+    masked: Vec<bool>,
+    syntax: parse::FileSyntax,
+}
+
+/// Runs the per-file passes: line rules, unsafe audit, cfg-feature refs.
+fn analyze_file(
+    path: PathBuf,
+    label: String,
+    source: &str,
+    enabled: &[Rule],
+    view: &CfgView,
+    unsafe_allowed: bool,
+    declared_features: Option<&BTreeSet<String>>,
+) -> FileAnalysis {
+    let lines = scan::clean_source(source);
+    let syntax = parse::parse(source, view);
+    let masked = syntax.masked_lines(lines.len());
+    let mut findings = Vec::new();
+
+    // Line rules (D1–D4, R1, R2, Doc1) over cleaned code, skipping lines
+    // masked out by the cfg view (test modules, disabled features).
     let mut has_doc = false;
-    // Bracket balance of an attribute spanning multiple lines.
     let mut attr_depth: i64 = 0;
-
-    for (idx, raw) in source.lines().enumerate() {
+    for (idx, cl) in lines.iter().enumerate() {
         let line_no = idx + 1;
-        let cleaned = cleaner.clean(raw);
-        let code_t = cleaned.code.trim().to_string();
-        let allows_here = parse_allows(&cleaned.comment);
-
+        let code_t = cl.code.trim();
         if code_t.is_empty() {
-            // Comment-only or blank line.
-            pending_allows.extend(allows_here);
-            let raw_t = raw.trim_start();
-            if raw_t.starts_with("///") || raw_t.starts_with("//!") {
+            if cl.doc {
                 has_doc = true;
             }
             continue;
         }
-
-        let mut allows = allows_here;
-        allows.append(&mut pending_allows);
-
-        if is_cfg_test_attr(&cleaned.code) {
-            pending_cfg_test = true;
-        }
-        let in_test = !test_stack.is_empty() || pending_cfg_test;
-
         let is_attr = attr_depth > 0 || code_t.starts_with("#[") || code_t.starts_with("#![");
         if is_attr {
-            for c in cleaned.code.chars() {
+            for c in cl.code.chars() {
                 match c {
                     '[' => attr_depth += 1,
                     ']' => attr_depth = (attr_depth - 1).max(0),
@@ -197,62 +230,312 @@ pub fn lint_source(file: &str, source: &str, enabled: &[Rule]) -> FileLint {
                 }
             }
         }
-
-        if !in_test && !is_attr {
-            for (rule, message) in rules::check_line(&cleaned.code, enabled, has_doc) {
-                if allows.contains(&rule) {
-                    out.suppressed += 1;
-                } else {
-                    out.diagnostics.push(Diagnostic {
-                        file: file.to_string(),
-                        line: line_no,
-                        rule,
-                        message,
-                    });
-                }
+        if !is_attr && !masked.get(idx).copied().unwrap_or(false) {
+            for (rule, message) in rules::check_line(&cl.code, enabled, has_doc) {
+                findings.push(RawFinding {
+                    line: line_no,
+                    rule,
+                    message,
+                });
             }
         }
-
-        // Track braces and #[cfg(test)] regions *after* checking, so the
-        // closing brace of a test module is still skipped and the opening
-        // line of one is too.
-        for c in cleaned.code.chars() {
-            match c {
-                '{' => {
-                    if pending_cfg_test {
-                        test_stack.push(depth);
-                        pending_cfg_test = false;
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth -= 1;
-                    if test_stack.last() == Some(&depth) {
-                        test_stack.pop();
-                    }
-                }
-                ';' if pending_cfg_test && !is_attr => {
-                    // `#[cfg(test)] use ...;` gates a single statement.
-                    pending_cfg_test = false;
-                }
-                _ => {}
-            }
-        }
-
         // Doc adjacency: attributes between the doc comment and the item
         // keep it attached; any other code line consumes it.
         if !is_attr {
             has_doc = false;
         }
     }
+
+    // Suppression sites: same-line allows bind to their own line;
+    // comment-only allows bind to the next code line.
+    let mut allows: Vec<AllowSite> = Vec::new();
+    let mut pending: Vec<(usize, Rule)> = Vec::new();
+    for (idx, cl) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let here = parse_allows(&cl.comment);
+        if cl.code.trim().is_empty() {
+            pending.extend(here.into_iter().map(|r| (line_no, r)));
+        } else {
+            for rule in here {
+                allows.push(AllowSite {
+                    decl_line: line_no,
+                    bound_line: Some(line_no),
+                    rule,
+                    used: false,
+                });
+            }
+            for (decl_line, rule) in pending.drain(..) {
+                allows.push(AllowSite {
+                    decl_line,
+                    bound_line: Some(line_no),
+                    rule,
+                    used: false,
+                });
+            }
+        }
+    }
+    for (decl_line, rule) in pending {
+        allows.push(AllowSite {
+            decl_line,
+            bound_line: None,
+            rule,
+            used: false,
+        });
+    }
+
+    // U1/U2: unsafe audit. The parser never descends into cfg-disabled
+    // items, so every recorded site is live under this view.
+    if enabled.contains(&Rule::U1) {
+        for site in &syntax.unsafe_sites {
+            if !site.has_safety {
+                findings.push(RawFinding {
+                    line: site.line,
+                    rule: Rule::U1,
+                    message: "unsafe without an adjacent `// SAFETY:` comment (or a `# Safety` \
+                              doc section)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    if enabled.contains(&Rule::U2) && !unsafe_allowed {
+        for site in &syntax.unsafe_sites {
+            findings.push(RawFinding {
+                line: site.line,
+                rule: Rule::U2,
+                message: "unsafe outside the per-crate allowlist (policy permits unsafe in \
+                          thermal/src/simd.rs only)"
+                    .to_string(),
+            });
+        }
+    }
+
+    // F1 (per-file half): every cfg(feature = "...") must name a declared
+    // feature. Masking is irrelevant here — the compiler evaluates the
+    // attribute text under every view.
+    if enabled.contains(&Rule::F1) {
+        if let Some(declared) = declared_features {
+            let mut seen = BTreeSet::new();
+            for r in &syntax.cfg_refs {
+                if !declared.contains(&r.feature) && seen.insert((r.line, r.feature.clone())) {
+                    findings.push(RawFinding {
+                        line: r.line,
+                        rule: Rule::F1,
+                        message: format!(
+                            "cfg(feature = \"{}\") but `{}` is not declared in this crate's \
+                             Cargo.toml [features]",
+                            r.feature, r.feature
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    FileAnalysis {
+        path,
+        label,
+        enabled: enabled.to_vec(),
+        findings,
+        allows,
+        masked,
+        syntax,
+    }
+}
+
+/// The fn names that count as snapshot/fork-protocol copying surface.
+const PROTOCOL_FNS: &[&str] = &["snapshot", "fork", "restore", "clone"];
+
+/// Crate-level S1 pass over a set of analyses (struct and impls may live
+/// in different files of the same crate).
+fn snapshot_coverage(analyses: &[FileAnalysis], snapshot_types: &[&str]) -> Vec<(usize, RawFinding)> {
+    let mut out = Vec::new();
+    let fallback = analyses
+        .iter()
+        .position(|a| a.label.ends_with("lib.rs"))
+        .unwrap_or(0);
+    for &ty in snapshot_types {
+        let Some((si, sdef)) = analyses
+            .iter()
+            .enumerate()
+            .find_map(|(i, a)| a.syntax.structs.iter().find(|s| s.name == ty).map(|s| (i, s)))
+        else {
+            out.push((
+                fallback,
+                RawFinding {
+                    line: 1,
+                    rule: Rule::S1,
+                    message: format!(
+                        "snapshot-protocol type `{ty}` is named in policy but not defined in \
+                         this crate"
+                    ),
+                },
+            ));
+            continue;
+        };
+        let field_names: BTreeSet<&str> = sdef.fields.iter().map(|f| f.name.as_str()).collect();
+        // Protocol methods: snapshot/fork/restore/clone in `impl Ty` or
+        // `impl Clone for Ty`. A method *copies* iff its body mentions at
+        // least one field of Ty; delegating bodies (`self.clone()`) are
+        // exempt — the copy they delegate to is checked instead.
+        let mut copying: Vec<(usize, &parse::FnDef)> = Vec::new();
+        let mut protocol_seen = false;
+        for (i, a) in analyses.iter().enumerate() {
+            for imp in &a.syntax.impls {
+                if imp.is_trait_def || imp.type_name != ty {
+                    continue;
+                }
+                if !matches!(imp.trait_name.as_deref(), None | Some("Clone")) {
+                    continue;
+                }
+                for f in &imp.fns {
+                    if !PROTOCOL_FNS.contains(&f.name.as_str()) {
+                        continue;
+                    }
+                    protocol_seen = true;
+                    if f.body_idents.iter().any(|id| field_names.contains(id.as_str())) {
+                        copying.push((i, f));
+                    }
+                }
+            }
+        }
+        if copying.is_empty() {
+            // Derived Clone is a complete field-wise copy by construction;
+            // anything else means the type cannot actually be snapshotted.
+            if !sdef.derives.iter().any(|d| d == "Clone") {
+                let detail = if protocol_seen {
+                    "its protocol methods only delegate and it does not #[derive(Clone)]"
+                } else {
+                    "it has neither a snapshot/fork/clone method nor #[derive(Clone)]"
+                };
+                out.push((
+                    si,
+                    RawFinding {
+                        line: sdef.line,
+                        rule: Rule::S1,
+                        message: format!("`{ty}` participates in the snapshot protocol but {detail}"),
+                    },
+                ));
+            }
+            continue;
+        }
+        for (i, f) in copying {
+            for field in &sdef.fields {
+                if field.shared || f.body_idents.contains(&field.name) {
+                    continue;
+                }
+                out.push((
+                    i,
+                    RawFinding {
+                        line: f.line,
+                        rule: Rule::S1,
+                        message: format!(
+                            "field `{}` of `{ty}` is not copied in `{}()`; copy it explicitly \
+                             or mark the field `// simlint::shared`",
+                            field.name, f.name
+                        ),
+                    },
+                ));
+            }
+        }
+    }
     out
 }
 
-/// Lints one on-disk file, labeling diagnostics with `label`.
-fn lint_file(path: &Path, label: &str, enabled: &[Rule]) -> Result<FileLint, String> {
-    let source =
-        fs::read_to_string(path).map_err(|e| format!("simlint: cannot read {label}: {e}"))?;
-    Ok(lint_source(label, &source, enabled))
+/// Applies crate-level rules and suppression to a crate's analyses.
+fn finish_files(
+    analyses: &mut [FileAnalysis],
+    crate_rules: &[Rule],
+    snapshot_types: &[&str],
+) -> (Vec<Diagnostic>, usize) {
+    if crate_rules.contains(&Rule::S1) && !snapshot_types.is_empty() {
+        for (i, finding) in snapshot_coverage(analyses, snapshot_types) {
+            analyses[i].findings.push(finding);
+        }
+    }
+
+    let mut diagnostics = Vec::new();
+    let mut suppressed = 0usize;
+    for a in analyses.iter_mut() {
+        for finding in &a.findings {
+            let site = a
+                .allows
+                .iter_mut()
+                .find(|s| s.bound_line == Some(finding.line) && s.rule == finding.rule);
+            if let Some(site) = site {
+                site.used = true;
+                suppressed += 1;
+            } else {
+                diagnostics.push(Diagnostic {
+                    file: a.label.clone(),
+                    line: finding.line,
+                    rule: finding.rule,
+                    message: finding.message.clone(),
+                });
+            }
+        }
+        // A1: a suppression whose rule no longer fires on its line is
+        // itself a finding (not suppressible — fix it by deleting it).
+        if a.enabled.contains(&Rule::A1) {
+            for site in &a.allows {
+                if site.used {
+                    continue;
+                }
+                // A suppression bound inside a masked region cannot be
+                // judged under this view; leave it alone.
+                if let Some(b) = site.bound_line {
+                    if a.masked.get(b - 1).copied().unwrap_or(false) {
+                        continue;
+                    }
+                }
+                diagnostics.push(Diagnostic {
+                    file: a.label.clone(),
+                    line: site.decl_line,
+                    rule: Rule::A1,
+                    message: format!(
+                        "dead suppression: simlint::allow({}) but {} does not fire on the \
+                         governed line; delete the comment",
+                        site.rule, site.rule
+                    ),
+                });
+            }
+        }
+    }
+    (diagnostics, suppressed)
+}
+
+/// Lints one file's source text under the given rule set with default
+/// options (permissive unsafe policy, no snapshot types, no manifest).
+///
+/// `file` is the path recorded in diagnostics; it does not need to exist on
+/// disk, which is what lets the self-tests lint fixture strings.
+pub fn lint_source(file: &str, source: &str, enabled: &[Rule]) -> FileLint {
+    lint_source_with(file, source, enabled, &LintOptions::permissive())
+}
+
+/// Lints one file's source text with explicit item-rule context.
+pub fn lint_source_with(
+    file: &str,
+    source: &str,
+    enabled: &[Rule],
+    opts: &LintOptions,
+) -> FileLint {
+    let mut analyses = vec![analyze_file(
+        PathBuf::from(file),
+        file.to_string(),
+        source,
+        enabled,
+        &opts.view,
+        opts.unsafe_allowed,
+        opts.declared_features.as_ref(),
+    )];
+    let types: Vec<&str> = opts.snapshot_types.iter().map(String::as_str).collect();
+    let (mut diagnostics, suppressed) = finish_files(&mut analyses, enabled, &types);
+    diagnostics.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    FileLint {
+        diagnostics,
+        suppressed,
+    }
 }
 
 /// Recursively collects `.rs` files under `dir`, sorted for determinism.
@@ -278,13 +561,162 @@ fn rel_label(root: &Path, path: &Path) -> String {
     rel.to_string_lossy().replace('\\', "/")
 }
 
-/// Lints every governed source file in the workspace rooted at `root`.
+/// Files excluded from this view because a cfg-disabled `mod x;` gates
+/// them (e.g. `thermal/src/simd.rs` without `--features simd`).
+fn excluded_mod_files(analyses: &[FileAnalysis]) -> (Vec<PathBuf>, Vec<PathBuf>) {
+    let mut exact = Vec::new();
+    let mut prefixes = Vec::new();
+    for a in analyses {
+        let is_root_file = a
+            .path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| matches!(n, "lib.rs" | "main.rs" | "mod.rs"));
+        let base = if is_root_file {
+            a.path.parent().map(Path::to_path_buf)
+        } else {
+            a.path.parent().map(|p| {
+                p.join(a.path.file_stem().map(|s| s.to_os_string()).unwrap_or_default())
+            })
+        };
+        let Some(base) = base else { continue };
+        for m in &a.syntax.mods {
+            if m.enabled {
+                continue;
+            }
+            exact.push(base.join(format!("{}.rs", m.name)));
+            prefixes.push(base.join(&m.name));
+        }
+    }
+    (exact, prefixes)
+}
+
+/// Analyzes one crate's `src/` tree: reads, parses, applies per-file and
+/// crate-level rules, and drops files gated out by the cfg view.
+#[allow(clippy::too_many_arguments)]
+fn lint_crate_sources(
+    root: &Path,
+    src: &Path,
+    crate_label_prefix: &str,
+    pol: &policy::CratePolicy,
+    declared: &BTreeSet<String>,
+    view: &CfgView,
+    report: &mut Report,
+) -> Result<(), String> {
+    let mut files = Vec::new();
+    collect_rs_files(src, &mut files)?;
+    let mut analyses = Vec::new();
+    for path in files {
+        let label = rel_label(root, &path);
+        let crate_rel = label
+            .strip_prefix(crate_label_prefix)
+            .unwrap_or(&label)
+            .to_string();
+        let per_file: Vec<Rule> = pol
+            .rules
+            .iter()
+            .copied()
+            .filter(|&r| !file_exempt(pol.name, &label, r))
+            .collect();
+        let source = fs::read_to_string(&path)
+            .map_err(|e| format!("simlint: cannot read {label}: {e}"))?;
+        let unsafe_ok = pol.unsafe_files.contains(&crate_rel.as_str());
+        analyses.push(analyze_file(
+            path,
+            label,
+            &source,
+            &per_file,
+            view,
+            unsafe_ok,
+            Some(declared),
+        ));
+    }
+    let (exact, prefixes) = excluded_mod_files(&analyses);
+    analyses.retain(|a| {
+        !exact.contains(&a.path) && !prefixes.iter().any(|p| a.path.starts_with(p))
+    });
+    report.files_scanned += analyses.len();
+    let (diags, suppressed) = finish_files(&mut analyses, pol.rules, pol.snapshot_types);
+    report.suppressed += suppressed;
+    report.diagnostics.extend(diags);
+    Ok(())
+}
+
+/// Workspace-level F1: a crate whose (non-dev) workspace dependency
+/// declares a forwarded feature must declare that feature and forward it
+/// as `"dep/feature"`.
 ///
-/// Scope: `crates/*/src/**/*.rs` (per-crate policy) plus the facade
-/// package's own `src/`. Integration tests, benches, and examples are test
-/// code by construction and are not scanned.
+/// Each entry is `(diagnostic label, parsed manifest, F1 enabled for that
+/// crate)`. Public so the self-tests can exercise the forwarding check on
+/// fixture manifests without a workspace on disk.
+pub fn check_feature_forwarding(
+    manifests: &[(String, manifest::Manifest, bool)],
+    report: &mut Report,
+) {
+    let by_package: BTreeMap<&str, &manifest::Manifest> = manifests
+        .iter()
+        .map(|(_, m, _)| (m.package_name.as_str(), m))
+        .collect();
+    for (label, m, f1_enabled) in manifests {
+        if !f1_enabled {
+            continue;
+        }
+        for (dep, &dep_line) in &m.dependencies {
+            let Some(dep_manifest) = by_package.get(dep.as_str()) else {
+                continue;
+            };
+            for &feature in policy::FORWARDED_FEATURES {
+                if !dep_manifest.features.contains_key(feature) {
+                    continue;
+                }
+                let forward = format!("{dep}/{feature}");
+                match m.features.get(feature) {
+                    None => report.diagnostics.push(Diagnostic {
+                        file: label.clone(),
+                        line: m.features_header_line.unwrap_or(dep_line),
+                        rule: Rule::F1,
+                        message: format!(
+                            "dependency `{dep}` declares forwarded feature `{feature}` but this \
+                             crate does not re-export it (add `{feature} = [\"{forward}\"]`)"
+                        ),
+                    }),
+                    Some(decl) if !decl.enables.iter().any(|e| e == &forward) => {
+                        report.diagnostics.push(Diagnostic {
+                            file: label.clone(),
+                            line: decl.line,
+                            rule: Rule::F1,
+                            message: format!(
+                                "feature `{feature}` does not forward to `{forward}`; the \
+                                 hand-maintained chain is stale"
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+}
+
+/// Lints every governed source file in the workspace rooted at `root`,
+/// under the default cfg view (no features enabled).
 pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    lint_workspace_with(root, &CfgView::default())
+}
+
+/// Lints the workspace under an explicit cfg view (`--features ...`).
+///
+/// Scope: `crates/*/src/**/*.rs` (per-crate policy), the facade package's
+/// own `src/`, and every governed crate's `Cargo.toml` (feature
+/// forwarding). Integration tests, benches, and examples are test code by
+/// construction and are not scanned. Files gated out by the view (e.g.
+/// `thermal/src/simd.rs` without `--features simd`) are excluded — CI runs
+/// both views to cover every line.
+pub fn lint_workspace_with(root: &Path, view: &CfgView) -> Result<Report, String> {
     let mut report = Report::default();
+    // (workspace-relative Cargo.toml label, parsed manifest, F1 enabled)
+    let mut manifests: Vec<(String, manifest::Manifest, bool)> = Vec::new();
+
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
         .map_err(|e| format!("simlint: cannot read {}: {e}", crates_dir.display()))?
@@ -298,44 +730,63 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_default();
-        let enabled = rules_for_crate(&name);
-        if enabled.is_empty() {
+        let pol = policy::policy_for_crate(&name);
+        if pol.rules.is_empty() {
             continue;
+        }
+        let manifest_path = crate_dir.join("Cargo.toml");
+        let parsed = fs::read_to_string(&manifest_path)
+            .ok()
+            .map(|s| manifest::parse(&s));
+        let declared: BTreeSet<String> = parsed
+            .as_ref()
+            .map(|m| m.features.keys().cloned().collect())
+            .unwrap_or_default();
+        if let Some(m) = parsed {
+            manifests.push((
+                rel_label(root, &manifest_path),
+                m,
+                pol.rules.contains(&Rule::F1),
+            ));
         }
         let src = crate_dir.join("src");
         if !src.is_dir() {
             continue;
         }
-        let mut files = Vec::new();
-        collect_rs_files(&src, &mut files)?;
-        for path in files {
-            let label = rel_label(root, &path);
-            let per_file: Vec<Rule> = enabled
-                .iter()
-                .copied()
-                .filter(|&r| !file_exempt(&name, &label, r))
-                .collect();
-            let lint = lint_file(&path, &label, &per_file)?;
-            report.files_scanned += 1;
-            report.suppressed += lint.suppressed;
-            report.diagnostics.extend(lint.diagnostics);
-        }
+        lint_crate_sources(
+            root,
+            &src,
+            &format!("crates/{name}/"),
+            &pol,
+            &declared,
+            view,
+            &mut report,
+        )?;
     }
 
-    // The facade package's own sources, if any.
+    // The facade package's own sources and manifest, if any.
     let facade_src = root.join("src");
-    if facade_src.is_dir() {
-        const FACADE: &[Rule] = &[Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::R1];
-        let mut files = Vec::new();
-        collect_rs_files(&facade_src, &mut files)?;
-        for path in files {
-            let label = rel_label(root, &path);
-            let lint = lint_file(&path, &label, FACADE)?;
-            report.files_scanned += 1;
-            report.suppressed += lint.suppressed;
-            report.diagnostics.extend(lint.diagnostics);
-        }
+    let facade_manifest = root.join("Cargo.toml");
+    let facade_pol = policy::facade_policy();
+    let parsed = fs::read_to_string(&facade_manifest)
+        .ok()
+        .map(|s| manifest::parse(&s));
+    let declared: BTreeSet<String> = parsed
+        .as_ref()
+        .map(|m| m.features.keys().cloned().collect())
+        .unwrap_or_default();
+    if let Some(m) = parsed {
+        manifests.push((
+            rel_label(root, &facade_manifest),
+            m,
+            facade_pol.rules.contains(&Rule::F1),
+        ));
     }
+    if facade_src.is_dir() {
+        lint_crate_sources(root, &facade_src, "src/", &facade_pol, &declared, view, &mut report)?;
+    }
+
+    check_feature_forwarding(&manifests, &mut report);
 
     report
         .diagnostics
@@ -439,5 +890,113 @@ mod tests {
         assert!(file_exempt("sim-core", "crates/sim-core/src/rng.rs", Rule::D3));
         assert!(!file_exempt("sim-core", "crates/sim-core/src/rng.rs", Rule::R1));
         assert!(!file_exempt("sched", "crates/sched/src/rng.rs", Rule::D3));
+    }
+
+    #[test]
+    fn dead_suppression_fires_only_with_a1_enabled() {
+        let src = "// simlint::allow(R1): stale justification\n\
+                   fn a() { tidy(); }\n";
+        let without = lint_source("x.rs", src, &[Rule::R1]);
+        assert!(without.diagnostics.is_empty());
+        let with = lint_source("x.rs", src, &[Rule::R1, Rule::A1]);
+        assert_eq!(with.diagnostics.len(), 1);
+        assert_eq!(with.diagnostics[0].rule, Rule::A1);
+        assert_eq!(with.diagnostics[0].line, 1);
+    }
+
+    #[test]
+    fn live_suppression_is_not_dead() {
+        let src = "fn a() { x.unwrap(); } // simlint::allow(R1): infallible\n";
+        let lint = lint_source("x.rs", src, &[Rule::R1, Rule::A1]);
+        assert!(lint.diagnostics.is_empty());
+        assert_eq!(lint.suppressed, 1);
+    }
+
+    #[test]
+    fn suppression_in_masked_region_is_not_judged() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                       // simlint::allow(R1): test-only\n\
+                       fn t() { x.unwrap(); }\n\
+                   }\n";
+        let lint = lint_source("x.rs", src, &[Rule::R1, Rule::A1]);
+        assert!(lint.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn s1_fires_on_missing_field_copy() {
+        let src = "pub struct Net {\n\
+                       temps: Vec<f64>,\n\
+                       powers: Vec<f64>,\n\
+                   }\n\
+                   impl Net {\n\
+                       pub fn snapshot(&self) -> Snap {\n\
+                           Snap { temps: self.temps.clone() }\n\
+                       }\n\
+                   }\n";
+        let opts = LintOptions {
+            snapshot_types: vec!["Net".to_string()],
+            ..LintOptions::permissive()
+        };
+        let lint = lint_source_with("x.rs", src, &[Rule::S1], &opts);
+        assert_eq!(lint.diagnostics.len(), 1);
+        assert_eq!(lint.diagnostics[0].rule, Rule::S1);
+        assert_eq!(lint.diagnostics[0].line, 6);
+        assert!(lint.diagnostics[0].message.contains("powers"));
+    }
+
+    #[test]
+    fn s1_shared_marker_and_full_copy_are_clean() {
+        let src = "pub struct Net {\n\
+                       // simlint::shared: Arc topology\n\
+                       topo: Arc<Topology>,\n\
+                       temps: Vec<f64>,\n\
+                   }\n\
+                   impl Net {\n\
+                       pub fn snapshot(&self) -> Snap {\n\
+                           Snap { temps: self.temps.clone() }\n\
+                       }\n\
+                   }\n";
+        let opts = LintOptions {
+            snapshot_types: vec!["Net".to_string()],
+            ..LintOptions::permissive()
+        };
+        let lint = lint_source_with("x.rs", src, &[Rule::S1], &opts);
+        assert!(lint.diagnostics.is_empty(), "{:?}", lint.diagnostics);
+    }
+
+    #[test]
+    fn u2_fires_when_unsafe_not_allowlisted() {
+        let src = "fn f() {\n\
+                       // SAFETY: fine\n\
+                       unsafe { g() };\n\
+                   }\n";
+        let allowed = lint_source_with(
+            "x.rs",
+            src,
+            &[Rule::U1, Rule::U2],
+            &LintOptions::permissive(),
+        );
+        assert!(allowed.diagnostics.is_empty());
+        let opts = LintOptions {
+            unsafe_allowed: false,
+            ..LintOptions::permissive()
+        };
+        let denied = lint_source_with("x.rs", src, &[Rule::U1, Rule::U2], &opts);
+        assert_eq!(denied.diagnostics.len(), 1);
+        assert_eq!(denied.diagnostics[0].rule, Rule::U2);
+    }
+
+    #[test]
+    fn f1_fires_on_undeclared_feature() {
+        let src = "#[cfg(feature = \"simd\")]\nfn gated() {}\n";
+        let opts = LintOptions {
+            declared_features: Some(["invariants".to_string()].into_iter().collect()),
+            ..LintOptions::permissive()
+        };
+        let lint = lint_source_with("x.rs", src, &[Rule::F1], &opts);
+        assert_eq!(lint.diagnostics.len(), 1);
+        assert_eq!(lint.diagnostics[0].rule, Rule::F1);
+        assert_eq!(lint.diagnostics[0].line, 1);
     }
 }

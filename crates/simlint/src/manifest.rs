@@ -1,0 +1,225 @@
+//! Minimal `Cargo.toml` reader for the F1 feature-consistency rules.
+//!
+//! simlint stays dependency-free, so this is a hand-rolled parser for the
+//! TOML subset the workspace's manifests actually use: `[section]`
+//! headers, `key = "value"` strings, dotted keys (`dep.workspace = true`),
+//! inline tables, and (possibly multiline) string arrays for `[features]`
+//! entries. Anything outside that subset is ignored rather than rejected —
+//! the rule needs feature names and dependency names, not full fidelity.
+
+use std::collections::BTreeMap;
+
+/// One `[features]` entry.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureDecl {
+    /// 1-based line of the declaration.
+    pub line: usize,
+    /// The strings in the array value (`"dep/feature"` forwarders and
+    /// plain feature names).
+    pub enables: Vec<String>,
+}
+
+/// The slice of a crate manifest that F1 needs.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    /// `package.name` (the name dependents use in `dep/feature` refs).
+    pub package_name: String,
+    /// Declared features with their forwarding lists.
+    pub features: BTreeMap<String, FeatureDecl>,
+    /// Names under `[dependencies]` (and target-specific variants), with
+    /// the line of each entry.
+    pub dependencies: BTreeMap<String, usize>,
+    /// Names under `[dev-dependencies]` — exempt from forwarding checks.
+    pub dev_dependencies: BTreeMap<String, usize>,
+    /// 1-based line of the `[features]` header, if present.
+    pub features_header_line: Option<usize>,
+}
+
+/// Which logical section a header line selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Package,
+    Features,
+    Dependencies,
+    DevDependencies,
+    Other,
+}
+
+/// Strips a `#` comment that is outside any string literal.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// Extracts every `"..."` string from `text` (no escape handling — Cargo
+/// feature refs never contain escapes).
+fn quoted_strings(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(open) = rest.find('"') {
+        let tail = &rest[open + 1..];
+        let Some(close) = tail.find('"') else { break };
+        out.push(tail[..close].to_string());
+        rest = &tail[close + 1..];
+    }
+    out
+}
+
+/// The key part of a `key = ...` line: first path segment of a possibly
+/// dotted/quoted key.
+fn key_of(line: &str) -> Option<String> {
+    let eq = line.find('=')?;
+    let key = line[..eq].trim();
+    if key.is_empty() {
+        return None;
+    }
+    let key = key.split('.').next().unwrap_or(key);
+    Some(key.trim_matches('"').to_string())
+}
+
+/// Parses the manifest subset out of `src`.
+pub fn parse(src: &str) -> Manifest {
+    let mut m = Manifest::default();
+    let mut section = Section::Other;
+    // A `[features]` array value may span lines; carry its state.
+    let mut open_feature: Option<String> = None;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(feature) = open_feature.clone() {
+            let decl = m.features.entry(feature).or_default();
+            decl.enables.extend(quoted_strings(line));
+            if line.contains(']') {
+                open_feature = None;
+            }
+            continue;
+        }
+
+        if line.starts_with('[') {
+            let name = line.trim_matches(|c| c == '[' || c == ']');
+            section = match name {
+                "package" => Section::Package,
+                "features" => Section::Features,
+                "dependencies" => Section::Dependencies,
+                "dev-dependencies" => Section::DevDependencies,
+                _ if name.ends_with(".dependencies") => Section::Dependencies,
+                _ if name.ends_with(".dev-dependencies") => Section::DevDependencies,
+                _ => Section::Other,
+            };
+            if section == Section::Features {
+                m.features_header_line = Some(line_no);
+            }
+            continue;
+        }
+
+        match section {
+            Section::Package => {
+                if line.starts_with("name") && key_of(line).as_deref() == Some("name") {
+                    if let Some(v) = quoted_strings(line).into_iter().next() {
+                        m.package_name = v;
+                    }
+                }
+            }
+            Section::Features => {
+                let Some(key) = key_of(line) else { continue };
+                let after_eq = line.split_once('=').map_or("", |(_, v)| v);
+                let decl = m.features.entry(key.clone()).or_default();
+                decl.line = line_no;
+                decl.enables.extend(quoted_strings(after_eq));
+                if after_eq.contains('[') && !after_eq.contains(']') {
+                    open_feature = Some(key);
+                }
+            }
+            Section::Dependencies => {
+                if let Some(key) = key_of(line) {
+                    m.dependencies.entry(key).or_insert(line_no);
+                }
+            }
+            Section::DevDependencies => {
+                if let Some(key) = key_of(line) {
+                    m.dev_dependencies.entry(key).or_insert(line_no);
+                }
+            }
+            Section::Other => {}
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+[package]
+name = "dimetrodon-machine"
+version.workspace = true
+
+[dependencies]
+dimetrodon-sim-core.workspace = true
+dimetrodon-thermal = { path = "../thermal" }
+
+[features]
+# Forwarded invariant checks.
+invariants = ["dimetrodon-sim-core/invariants", "dimetrodon-thermal/invariants"]
+simd = [
+    "dimetrodon-thermal/simd",
+]
+bare = []
+
+[dev-dependencies]
+proptest.workspace = true
+"#;
+
+    #[test]
+    fn parses_package_name_and_sections() {
+        let m = parse(SAMPLE);
+        assert_eq!(m.package_name, "dimetrodon-machine");
+        assert!(m.dependencies.contains_key("dimetrodon-sim-core"));
+        assert!(m.dependencies.contains_key("dimetrodon-thermal"));
+        assert!(m.dev_dependencies.contains_key("proptest"));
+        assert!(!m.dependencies.contains_key("proptest"));
+    }
+
+    #[test]
+    fn parses_features_including_multiline_arrays() {
+        let m = parse(SAMPLE);
+        assert_eq!(
+            m.features["invariants"].enables,
+            vec![
+                "dimetrodon-sim-core/invariants",
+                "dimetrodon-thermal/invariants"
+            ]
+        );
+        assert_eq!(m.features["simd"].enables, vec!["dimetrodon-thermal/simd"]);
+        assert!(m.features["bare"].enables.is_empty());
+        assert!(m.features["simd"].line > 0);
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_confuse_the_parser() {
+        let m = parse("[features]\nx = [] # not [dependencies]\n# name = \"nope\"\n");
+        assert!(m.features.contains_key("x"));
+        assert!(m.package_name.is_empty());
+    }
+
+    #[test]
+    fn bin_sections_are_ignored() {
+        let m = parse("[package]\nname = \"a\"\n[[bin]]\nname = \"b\"\n");
+        assert_eq!(m.package_name, "a");
+    }
+}

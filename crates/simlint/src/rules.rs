@@ -28,6 +28,24 @@ pub enum Rule {
     /// `Result`/`PointOutcome`; bind and handle it or justify with a
     /// suppression.
     R2,
+    /// Snapshot coverage: every named field of a type in the crate's
+    /// snapshot/fork protocol must be explicitly copied in each copying
+    /// method (`snapshot`/`fork`/`restore`/`clone`) or carry a
+    /// `simlint::shared` marker for Arc-shared immutable state.
+    S1,
+    /// Every `unsafe` block/fn/impl needs an adjacent `// SAFETY:` comment
+    /// (or a `# Safety` doc section on the item).
+    U1,
+    /// `unsafe` is only permitted in files allowlisted by per-crate policy
+    /// (today: `thermal/src/simd.rs` only).
+    U2,
+    /// Feature consistency: every `cfg(feature = "...")` must name a
+    /// feature declared in that crate's `Cargo.toml`, and a crate whose
+    /// dependency declares a forwarded feature must re-export it.
+    F1,
+    /// Dead suppression: a `simlint::allow(...)` whose rule no longer
+    /// fires on its line is itself a finding.
+    A1,
     /// Public items must carry doc comments.
     Doc1,
 }
@@ -43,13 +61,18 @@ pub enum Severity {
 
 impl Rule {
     /// Every rule, in report order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 12] = [
         Rule::D1,
         Rule::D2,
         Rule::D3,
         Rule::D4,
         Rule::R1,
         Rule::R2,
+        Rule::S1,
+        Rule::U1,
+        Rule::U2,
+        Rule::F1,
+        Rule::A1,
         Rule::Doc1,
     ];
 
@@ -62,6 +85,11 @@ impl Rule {
             Rule::D4 => "D4",
             Rule::R1 => "R1",
             Rule::R2 => "R2",
+            Rule::S1 => "S1",
+            Rule::U1 => "U1",
+            Rule::U2 => "U2",
+            Rule::F1 => "F1",
+            Rule::A1 => "A1",
             Rule::Doc1 => "Doc1",
         }
     }
@@ -75,16 +103,26 @@ impl Rule {
             "D4" => Some(Rule::D4),
             "R1" => Some(Rule::R1),
             "R2" => Some(Rule::R2),
+            "S1" => Some(Rule::S1),
+            "U1" => Some(Rule::U1),
+            "U2" => Some(Rule::U2),
+            "F1" => Some(Rule::F1),
+            "A1" => Some(Rule::A1),
             "Doc1" => Some(Rule::Doc1),
             _ => None,
         }
     }
 
     /// Default severity before any `--deny-warnings` promotion.
+    ///
+    /// The deny tier holds the rules whose violation can silently corrupt
+    /// replay identity (`D1`–`D3`), break it outright (`S1` — a field
+    /// missing from a snapshot copy resumes with stale state), widen the
+    /// unsafe surface (`U2`), or let a feature chain go stale (`F1`).
     pub fn default_severity(self) -> Severity {
         match self {
-            Rule::D1 | Rule::D2 | Rule::D3 => Severity::Deny,
-            Rule::D4 | Rule::R1 | Rule::R2 | Rule::Doc1 => Severity::Warn,
+            Rule::D1 | Rule::D2 | Rule::D3 | Rule::S1 | Rule::U2 | Rule::F1 => Severity::Deny,
+            Rule::D4 | Rule::R1 | Rule::R2 | Rule::U1 | Rule::A1 | Rule::Doc1 => Severity::Warn,
         }
     }
 }
@@ -374,6 +412,9 @@ pub fn check_line(code: &str, enabled: &[Rule], has_doc: bool) -> Vec<(Rule, Str
                     found.push((rule, "public item without a doc comment".to_string()));
                 }
             }
+            // Item-level rules: evaluated over the parsed syntax of a whole
+            // file (or crate) in `lib.rs`, not per line.
+            Rule::S1 | Rule::U1 | Rule::U2 | Rule::F1 | Rule::A1 => {}
         }
     }
     found

@@ -1,241 +1,110 @@
-//! Line-level source cleaning.
+//! Line-level source cleaning, built on the [`crate::lexer`] token stream.
 //!
 //! Rule checks must never match tokens that only appear inside comments,
 //! string literals, or char literals ("call `.unwrap()` here" in a doc
-//! comment is not a violation). [`Cleaner`] walks a file line by line and
-//! splits each into the *code* portion (with literal contents blanked out)
-//! and the *comment* portion (where `simlint::allow(...)` suppressions
-//! live). Block comments, plain strings, and raw strings may span lines, so
-//! the cleaner carries state between calls.
+//! comment is not a violation). [`clean_source`] lexes the whole file once
+//! and derives, per line, the *code* portion (comment bytes and literal
+//! interiors blanked out, columns preserved) and the *comment* portion
+//! (where `simlint::allow(...)` suppressions and `simlint::shared`
+//! markers live). Because the lexer tracks multi-line constructs exactly,
+//! block comments, plain strings, and raw strings that span lines need no
+//! per-line carry state here.
+
+use crate::lexer::{self, TokenKind};
 
 /// The interesting parts of one source line after cleaning.
 #[derive(Debug, Default, Clone)]
 pub struct CleanLine {
-    /// Code with string/char-literal contents removed and comments stripped.
+    /// Code with string/char-literal contents blanked and comments
+    /// replaced by spaces (so columns survive but content cannot match).
     pub code: String,
-    /// Concatenated text of every comment on the line.
+    /// Concatenated text of every comment overlapping the line.
     pub comment: String,
+    /// Whether the line starts a doc comment (`///` or `//!`).
+    pub doc: bool,
 }
 
-/// What multi-line construct, if any, the previous line left open.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Carry {
-    /// Plain code.
-    None,
-    /// Inside `/* */` comments nested `depth` levels deep.
-    BlockComment { depth: usize },
-    /// Inside a string literal; raw strings close with `"` followed by
-    /// `hashes` `#` characters (0 for ordinary `"..."` strings).
-    InString { raw: bool, hashes: usize },
-}
-
-/// Stateful comment/string stripper, one instance per file.
-#[derive(Debug)]
-pub struct Cleaner {
-    carry: Carry,
-}
-
-impl Default for Cleaner {
-    fn default() -> Self {
-        Cleaner { carry: Carry::None }
+/// Splits `src` into cleaned lines, one per source line.
+pub fn clean_source(src: &str) -> Vec<CleanLine> {
+    if src.is_empty() {
+        return Vec::new();
     }
-}
-
-impl Cleaner {
-    /// Creates a cleaner positioned at the top of a file.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Cleans one raw source line, updating carry-over state.
-    pub fn clean(&mut self, raw: &str) -> CleanLine {
-        let chars: Vec<char> = raw.chars().collect();
-        let mut out = CleanLine::default();
-        let mut i = 0usize;
-
-        // Resume whatever the previous line left open.
-        match self.carry {
-            Carry::None => {}
-            Carry::BlockComment { mut depth } => {
-                while i < chars.len() && depth > 0 {
-                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                        depth -= 1;
-                        i += 2;
-                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                        depth += 1;
-                        i += 2;
-                    } else {
-                        out.comment.push(chars[i]);
-                        i += 1;
-                    }
-                }
-                self.carry = if depth > 0 {
-                    Carry::BlockComment { depth }
-                } else {
-                    Carry::None
-                };
-                if matches!(self.carry, Carry::BlockComment { .. }) {
-                    return out;
+    let tokens = lexer::lex(src);
+    // Per-byte mask: 0 = keep, 1 = blank to space, 2 = comment byte
+    // (blank in code, collect in comment).
+    let mut mask = vec![0u8; src.len()];
+    for t in &tokens {
+        match t.kind {
+            TokenKind::LineComment | TokenKind::BlockComment => {
+                for m in &mut mask[t.start..t.end] {
+                    *m = 2;
                 }
             }
-            Carry::InString { raw: is_raw, hashes } => {
-                match self.scan_string_body(&chars, &mut i, is_raw, hashes) {
-                    true => {
-                        out.code.push('"');
-                        self.carry = Carry::None;
+            TokenKind::Str | TokenKind::Char => {
+                // Keep the delimiters (first and last byte) so the code
+                // view still shows an empty literal; blank the interior.
+                let inner_start = t.start + 1;
+                let inner_end = t.end.saturating_sub(1);
+                if inner_start < inner_end {
+                    for m in &mut mask[inner_start..inner_end] {
+                        *m = 1;
                     }
-                    false => return out, // string still open
                 }
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut line_start = 0usize;
+    let bytes = src.as_bytes();
+    let mut doc_lines = std::collections::BTreeSet::new();
+    for t in &tokens {
+        if t.kind == TokenKind::LineComment {
+            let text = t.text(src);
+            if text.starts_with("///") || text.starts_with("//!") {
+                doc_lines.insert(t.line);
             }
         }
-
-        while i < chars.len() {
-            let c = chars[i];
-            match c {
-                '/' if chars.get(i + 1) == Some(&'/') => {
-                    // Line comment: the rest of the line is comment text.
-                    out.comment.extend(&chars[i + 2..]);
-                    break;
-                }
-                '/' if chars.get(i + 1) == Some(&'*') => {
-                    let mut depth = 1usize;
-                    i += 2;
-                    while i < chars.len() && depth > 0 {
-                        if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                            depth -= 1;
-                            i += 2;
-                        } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                            depth += 1;
-                            i += 2;
-                        } else {
-                            out.comment.push(chars[i]);
-                            i += 1;
-                        }
-                    }
-                    if depth > 0 {
-                        self.carry = Carry::BlockComment { depth };
-                        return out;
-                    }
-                }
-                '"' => {
-                    out.code.push('"');
-                    i += 1;
-                    if self.scan_string_body(&chars, &mut i, false, 0) {
-                        out.code.push('"');
-                    } else {
-                        self.carry = Carry::InString {
-                            raw: false,
-                            hashes: 0,
-                        };
-                        return out;
-                    }
-                }
-                'r' | 'b' if Self::raw_string_at(&chars, i, &out.code) => {
-                    // `r"..."`, `r#"..."#`, `br"..."`, `b"..."` prefixes.
-                    while i < chars.len() && (chars[i] == 'r' || chars[i] == 'b') {
-                        out.code.push(chars[i]);
-                        i += 1;
-                    }
-                    let mut hashes = 0usize;
-                    while chars.get(i) == Some(&'#') {
-                        hashes += 1;
-                        i += 1;
-                    }
-                    debug_assert_eq!(chars.get(i), Some(&'"'));
-                    out.code.push('"');
-                    i += 1;
-                    if self.scan_string_body(&chars, &mut i, true, hashes) {
-                        out.code.push('"');
-                    } else {
-                        self.carry = Carry::InString { raw: true, hashes };
-                        return out;
-                    }
-                }
-                '\'' => {
-                    // Char literal or lifetime. A lifetime has no closing
-                    // quote within a couple of characters.
-                    if chars.get(i + 1) == Some(&'\\') {
-                        out.code.push('\'');
-                        i += 2; // skip the backslash + first escape char
-                        while i < chars.len() && chars[i] != '\'' {
-                            i += 1;
-                        }
-                        if i < chars.len() {
-                            out.code.push('\'');
-                            i += 1;
-                        }
-                    } else if chars.get(i + 2) == Some(&'\'') {
-                        out.code.push('\'');
-                        out.code.push('\'');
-                        i += 3;
-                    } else {
-                        out.code.push('\'');
-                        i += 1;
-                    }
-                }
+    }
+    let mut line_no = 1usize;
+    loop {
+        let line_end = bytes[line_start..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|p| line_start + p)
+            .unwrap_or(src.len());
+        let mut code = String::with_capacity(line_end - line_start);
+        let mut comment = String::new();
+        // Walk chars; a char's bytes always share one mask value because
+        // token spans sit on char boundaries.
+        for (off, c) in src[line_start..line_end].char_indices() {
+            match mask[line_start + off] {
+                0 => code.push(c),
+                1 => code.push(' '),
                 _ => {
-                    out.code.push(c);
-                    i += 1;
+                    code.push(' ');
+                    comment.push(c);
                 }
             }
         }
-        out
+        out.push(CleanLine {
+            code,
+            comment,
+            doc: doc_lines.contains(&line_no),
+        });
+        if line_end == src.len() {
+            break;
+        }
+        line_start = line_end + 1;
+        line_no += 1;
     }
-
-    /// True if position `i` (an `r` or `b`) starts a raw/byte string prefix.
-    fn raw_string_at(chars: &[char], i: usize, code_so_far: &str) -> bool {
-        // Must sit on an identifier boundary: `for` ends in `r` but is not a
-        // raw-string prefix.
-        if code_so_far
-            .chars()
-            .next_back()
-            .is_some_and(|p| p.is_alphanumeric() || p == '_')
-        {
-            return false;
-        }
-        let mut j = i;
-        while matches!(chars.get(j), Some('r') | Some('b')) {
-            j += 1;
-            if j - i > 2 {
-                return false;
-            }
-        }
-        while chars.get(j) == Some(&'#') {
-            j += 1;
-        }
-        j > i && chars.get(j) == Some(&'"')
+    // A trailing newline yields a final empty line in `str::lines` terms;
+    // drop it so line counts match `source.lines()`.
+    if src.ends_with('\n') {
+        out.pop();
     }
-
-    /// Consumes a string body starting at `*i` (just past the opening
-    /// quote). Returns true if the closing quote was found on this line.
-    fn scan_string_body(&self, chars: &[char], i: &mut usize, raw: bool, hashes: usize) -> bool {
-        while *i < chars.len() {
-            let c = chars[*i];
-            if !raw && c == '\\' {
-                *i += 2;
-                continue;
-            }
-            if c == '"' {
-                if raw {
-                    // Need `hashes` trailing '#'s to actually close.
-                    let mut k = 0usize;
-                    while k < hashes && chars.get(*i + 1 + k) == Some(&'#') {
-                        k += 1;
-                    }
-                    if k == hashes {
-                        *i += 1 + hashes;
-                        return true;
-                    }
-                    *i += 1;
-                    continue;
-                }
-                *i += 1;
-                return true;
-            }
-            *i += 1;
-        }
-        false
-    }
+    out
 }
 
 #[cfg(test)]
@@ -243,7 +112,7 @@ mod tests {
     use super::*;
 
     fn clean_one(src: &str) -> CleanLine {
-        Cleaner::new().clean(src)
+        clean_source(src).into_iter().next().unwrap_or_default()
     }
 
     #[test]
@@ -257,7 +126,7 @@ mod tests {
     fn strips_string_contents() {
         let l = clean_one("let s = \"HashMap::new()\";");
         assert!(!l.code.contains("HashMap"));
-        assert!(l.code.contains("\"\""));
+        assert!(l.code.contains('"'));
     }
 
     #[test]
@@ -269,20 +138,18 @@ mod tests {
 
     #[test]
     fn block_comment_spans_lines() {
-        let mut c = Cleaner::new();
-        let a = c.clean("foo(); /* start .expect(");
-        let b = c.clean("still comment */ bar();");
-        assert_eq!(a.code.trim_end(), "foo();");
-        assert!(a.comment.contains(".expect("));
-        assert!(b.code.contains("bar();"));
+        let lines = clean_source("foo(); /* start .expect(\nstill comment */ bar();");
+        assert_eq!(lines[0].code.trim_end(), "foo();");
+        assert!(lines[0].comment.contains(".expect("));
+        assert!(lines[1].code.contains("bar();"));
+        assert!(!lines[1].code.contains("still"));
     }
 
     #[test]
     fn nested_block_comments() {
-        let mut c = Cleaner::new();
-        c.clean("/* outer /* inner */ still outer");
-        let l = c.clean("done */ code();");
-        assert!(l.code.contains("code();"));
+        let lines = clean_source("/* outer /* inner */ still outer\ndone */ code();");
+        assert!(lines[1].code.contains("code();"));
+        assert!(!lines[1].code.contains("done"));
     }
 
     #[test]
@@ -295,7 +162,7 @@ mod tests {
     #[test]
     fn char_literal_and_lifetime() {
         let l = clean_one("fn f<'a>(c: char) -> bool { c == '{' }");
-        assert!(!l.code.contains('{') || l.code.matches('{').count() == 1);
+        assert_eq!(l.code.matches('{').count(), 1);
         assert!(l.code.contains("<'a>"));
     }
 
@@ -307,11 +174,23 @@ mod tests {
 
     #[test]
     fn multiline_plain_string() {
-        let mut c = Cleaner::new();
-        let a = c.clean("let s = \"first HashMap");
-        let b = c.clean("second .unwrap() line\"; after();");
-        assert!(!a.code.contains("HashMap"));
-        assert!(!b.code.contains(".unwrap()"));
-        assert!(b.code.contains("after();"));
+        let lines = clean_source("let s = \"first HashMap\nsecond .unwrap() line\"; after();");
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(!lines[1].code.contains(".unwrap()"));
+        assert!(lines[1].code.contains("after();"));
+    }
+
+    #[test]
+    fn doc_lines_flagged() {
+        let lines = clean_source("/// Documented.\n//! inner\n// plain\nfn f() {}");
+        assert!(lines[0].doc && lines[1].doc);
+        assert!(!lines[2].doc && !lines[3].doc);
+    }
+
+    #[test]
+    fn line_count_matches_source_lines() {
+        for src in ["a\nb\nc", "a\nb\nc\n", "", "one"] {
+            assert_eq!(clean_source(src).len(), src.lines().count(), "{src:?}");
+        }
     }
 }

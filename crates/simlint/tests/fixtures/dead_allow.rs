@@ -1,0 +1,14 @@
+//! Fixture: dead-suppression — a live allow is honored, a dead one is
+//! reported at its declaration line. Scanned as text; never compiled.
+
+/// Wall-clock timing is deliberate here; the allow is live.
+pub fn wall_nanos() -> u128 {
+    let start = std::time::Instant::now(); // simlint::allow(D1): fixture keeps a live allow.
+    start.elapsed().as_nanos()
+}
+
+/// The seeded RNG call this allow governed was removed; the allow is dead.
+// simlint::allow(D3): stale — nothing random remains below.
+pub fn tidy() -> u64 {
+    7
+}

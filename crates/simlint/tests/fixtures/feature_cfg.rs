@@ -1,0 +1,16 @@
+//! Fixture: feature-consistency — the test supplies `simd` as the only
+//! declared feature; `turbo` and `trubo` are typos. Never compiled.
+
+/// Gated on a declared feature: clean.
+#[cfg(feature = "simd")]
+pub fn vectorized() {}
+
+/// Gated on an undeclared feature: F1 fires even though the item is
+/// masked out of this view — the compiler reads the attribute anyway.
+#[cfg(feature = "turbo")]
+pub fn mistyped() {}
+
+/// `cfg!` in a body is judged too.
+pub fn runtime_probe() -> bool {
+    cfg!(feature = "trubo")
+}

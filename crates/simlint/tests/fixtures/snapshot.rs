@@ -1,0 +1,34 @@
+//! Fixture: S1 snapshot-coverage — `fork()` forgets `samples`, `Orphan`
+//! has no copy surface at all. Scanned as text; never compiled.
+
+/// A meter with two snapshotted fields and one shared one.
+pub struct Meter {
+    pub joules: f64,
+    pub samples: u64,
+    // simlint::shared — immutable lookup table, never mutated.
+    pub table: Vec<f64>,
+}
+
+impl Meter {
+    /// Full copy: every non-shared field appears. Clean.
+    pub fn snapshot(&self) -> Meter {
+        Meter {
+            joules: self.joules,
+            samples: self.samples,
+            table: self.table.clone(),
+        }
+    }
+
+    /// Forgets `samples`: S1 fires here.
+    pub fn fork(&self) -> Meter {
+        Meter {
+            joules: self.joules,
+            table: self.table.clone(),
+        }
+    }
+}
+
+/// No snapshot/fork/clone method and no derive(Clone): S1 at the struct.
+pub struct Orphan {
+    pub ticks: u64,
+}

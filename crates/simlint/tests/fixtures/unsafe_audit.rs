@@ -1,0 +1,13 @@
+//! Fixture: unsafe-audit — one documented site, one bare one (U1); when
+//! the file is outside the allowlist, U2 judges both. Never compiled.
+
+/// Reads a raw pointer with justification.
+pub fn documented(p: *const f64) -> f64 {
+    // SAFETY: caller guarantees `p` is valid and aligned (fixture).
+    unsafe { *p }
+}
+
+/// Reads a raw pointer without justification: U1 fires.
+pub fn undocumented(p: *const f64) -> f64 {
+    unsafe { *p }
+}

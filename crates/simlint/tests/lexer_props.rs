@@ -1,0 +1,83 @@
+//! Property tests: the lexer's byte spans round-trip arbitrary nestings
+//! of comments, strings, and code.
+//!
+//! The invariants pinned here are the ones every simlint rule leans on:
+//! spans are sorted, disjoint, in-bounds, and on char boundaries; each
+//! token's text is exactly `&src[start..end]`; every byte outside all
+//! spans is whitespace; line numbers count `\n`s before the span.
+
+use proptest::prelude::*;
+use simlint::lexer::lex;
+
+/// One source fragment, chosen to stress the tricky classifications:
+/// nested block comments, comment openers inside string literals, raw
+/// and byte strings, char-vs-lifetime, range-adjacent numbers.
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0u32..100).prop_map(|i| format!("x{i}")),
+        Just("fn ".to_string()),
+        Just("r#type ".to_string()),
+        (0u32..1000).prop_map(|n| format!("{n} ")),
+        (0u32..100).prop_map(|n| format!("{n}.25e-3 ")),
+        Just("0..4".to_string()),
+        Just("\"plain\"".to_string()),
+        Just("\"has // and /* inside\"".to_string()),
+        Just("\"esc \\\" quote\"".to_string()),
+        Just("r#\"raw \" with // and /* \"#".to_string()),
+        Just("b\"bytes\"".to_string()),
+        Just("'x'".to_string()),
+        Just("'\\n'".to_string()),
+        Just("b'q'".to_string()),
+        Just("'static ".to_string()),
+        Just("&'a str".to_string()),
+        Just("// line with \" and /* opener\n".to_string()),
+        Just("/// doc line\n".to_string()),
+        Just("/* block /* nested */ tail */".to_string()),
+        Just("/* \" lone quote */".to_string()),
+        Just("{ } ; :: -> #[cfg(test)]".to_string()),
+        Just(" ".to_string()),
+        Just("\n".to_string()),
+        Just("\t".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prop_lexer_spans_round_trip(
+        frags in prop::collection::vec(fragment(), 0usize..40),
+    ) {
+        let src: String = frags.concat();
+        let tokens = lex(&src);
+        let mut prev_end = 0usize;
+        let mut rebuilt = String::new();
+        for t in &tokens {
+            prop_assert!(
+                t.start >= prev_end,
+                "overlapping spans at byte {} in {src:?}", t.start
+            );
+            prop_assert!(t.end <= src.len(), "span past EOF in {src:?}");
+            prop_assert!(t.start < t.end, "empty token span in {src:?}");
+            // Both slices panic (failing the case) if a span boundary
+            // lands inside a UTF-8 sequence.
+            let gap = &src[prev_end..t.start];
+            prop_assert!(
+                gap.chars().all(char::is_whitespace),
+                "non-whitespace {gap:?} between tokens in {src:?}"
+            );
+            let line = 1 + src[..t.start].matches('\n').count();
+            prop_assert_eq!(t.line, line, "line number drift in {src:?}");
+            rebuilt.push_str(gap);
+            rebuilt.push_str(t.text(&src));
+            prev_end = t.end;
+        }
+        let tail = &src[prev_end..];
+        prop_assert!(
+            tail.chars().all(char::is_whitespace),
+            "non-whitespace tail {tail:?} in {src:?}"
+        );
+        rebuilt.push_str(tail);
+        prop_assert_eq!(rebuilt, src);
+    }
+}

@@ -1,10 +1,20 @@
 //! Self-tests: fixture files with seeded violations pin the exact rule IDs
 //! and line numbers simlint reports, and the live workspace must be clean.
+//!
+//! The mutation tests are the teeth of the S1 snapshot-coverage contract:
+//! deleting any single field copy from a protocol method — in the fixture
+//! or in the real `System`/`Machine`/`ThermalNetwork` sources — must turn
+//! the lint red.
 
+use std::collections::BTreeSet;
 use std::path::Path;
 use std::process::Command;
 
-use simlint::{lint_source, lint_workspace, Rule, Severity};
+use simlint::parse::{self, CfgView};
+use simlint::{
+    check_feature_forwarding, lint_source, lint_source_with, lint_workspace,
+    lint_workspace_with, manifest, policy, LintOptions, Report, Rule, Severity,
+};
 
 const FULL: &[Rule] = &[
     Rule::D1,
@@ -36,8 +46,25 @@ fn findings(source: &str, enabled: &[Rule]) -> Vec<(usize, Rule)> {
         .collect()
 }
 
+/// Same, with explicit item-rule options.
+fn findings_with(source: &str, enabled: &[Rule], opts: &LintOptions) -> Vec<(usize, Rule)> {
+    lint_source_with("fixture.rs", source, enabled, opts)
+        .diagnostics
+        .into_iter()
+        .map(|d| (d.line, d.rule))
+        .collect()
+}
+
+/// Options holding the fixture's `Meter`/`Orphan` to the S1 contract.
+fn snapshot_opts() -> LintOptions {
+    LintOptions {
+        snapshot_types: vec!["Meter".to_string(), "Orphan".to_string()],
+        ..LintOptions::permissive()
+    }
+}
+
 #[test]
-fn violations_fixture_fires_every_rule_at_exact_lines() {
+fn violations_fixture_fires_every_line_rule_at_exact_lines() {
     let src = fixture("violations.rs");
     assert_eq!(
         findings(&src, FULL),
@@ -58,13 +85,187 @@ fn violations_fixture_fires_every_rule_at_exact_lines() {
 }
 
 #[test]
-fn every_rule_is_exercised_by_the_violations_fixture() {
-    let src = fixture("violations.rs");
-    let fired: std::collections::BTreeSet<Rule> =
-        findings(&src, FULL).into_iter().map(|(_, r)| r).collect();
+fn every_rule_is_exercised_by_some_fixture() {
+    let mut fired: BTreeSet<Rule> = BTreeSet::new();
+    fired.extend(findings(&fixture("violations.rs"), FULL).into_iter().map(|(_, r)| r));
+    fired.extend(
+        findings_with(&fixture("snapshot.rs"), &[Rule::S1], &snapshot_opts())
+            .into_iter()
+            .map(|(_, r)| r),
+    );
+    let audit = LintOptions::default(); // unsafe_allowed = false
+    fired.extend(
+        findings_with(&fixture("unsafe_audit.rs"), &[Rule::U1, Rule::U2], &audit)
+            .into_iter()
+            .map(|(_, r)| r),
+    );
+    let feats = LintOptions {
+        declared_features: Some(["simd".to_string()].into_iter().collect()),
+        ..LintOptions::permissive()
+    };
+    fired.extend(
+        findings_with(&fixture("feature_cfg.rs"), &[Rule::F1], &feats)
+            .into_iter()
+            .map(|(_, r)| r),
+    );
+    fired.extend(
+        findings(&fixture("dead_allow.rs"), &[Rule::D1, Rule::D3, Rule::A1])
+            .into_iter()
+            .map(|(_, r)| r),
+    );
     for rule in Rule::ALL {
         assert!(fired.contains(&rule), "rule {rule} never fired");
     }
+}
+
+#[test]
+fn snapshot_fixture_pins_s1_lines() {
+    let src = fixture("snapshot.rs");
+    assert_eq!(
+        findings_with(&src, &[Rule::S1], &snapshot_opts()),
+        vec![
+            (23, Rule::S1), // fork() forgets `samples`
+            (32, Rule::S1), // Orphan has no copy surface at all
+        ]
+    );
+}
+
+/// The acceptance teeth: deleting a single field copy from an otherwise
+/// clean protocol method turns the lint red — whether the deletion
+/// preserves line numbering (blanked) or shifts it (removed).
+#[test]
+fn snapshot_mutation_deleting_one_field_copy_turns_red() {
+    let src = fixture("snapshot.rs");
+    let opts = snapshot_opts();
+    let baseline = findings_with(&src, &[Rule::S1], &opts);
+    assert!(
+        !baseline.iter().any(|&(line, _)| line == 14),
+        "snapshot() must start clean for the mutation to be observable"
+    );
+
+    // Blank line 17 (`samples: self.samples,` in snapshot()).
+    let blanked: String = src
+        .lines()
+        .enumerate()
+        .map(|(i, l)| if i + 1 == 17 { "" } else { l })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let mutated = findings_with(&blanked, &[Rule::S1], &opts);
+    assert!(
+        mutated.contains(&(14, Rule::S1)),
+        "blanking the `samples` copy must fire S1 at snapshot(): {mutated:?}"
+    );
+
+    // Remove the line outright; the finding follows the shifted fn line.
+    let removed: String = src
+        .lines()
+        .enumerate()
+        .filter(|&(i, _)| i + 1 != 17)
+        .map(|(_, l)| l)
+        .collect::<Vec<_>>()
+        .join("\n");
+    let lint = lint_source_with("fixture.rs", &removed, &[Rule::S1], &opts);
+    assert!(
+        lint.diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::S1
+                && d.message.contains("`samples`")
+                && d.message.contains("snapshot()")),
+        "removing the `samples` copy must fire S1: {:?}",
+        lint.diagnostics
+    );
+}
+
+#[test]
+fn unsafe_fixture_pins_u1_and_u2_lines() {
+    let src = fixture("unsafe_audit.rs");
+    // Outside the allowlist: U2 judges both sites, U1 only the bare one.
+    let audit = LintOptions::default();
+    assert_eq!(
+        findings_with(&src, &[Rule::U1, Rule::U2], &audit),
+        vec![
+            (7, Rule::U2),  // documented, but unsafe is not allowed here
+            (12, Rule::U1), // no SAFETY comment
+            (12, Rule::U2),
+        ]
+    );
+    // Allowlisted file: only the missing SAFETY comment remains.
+    assert_eq!(
+        findings_with(&src, &[Rule::U1, Rule::U2], &LintOptions::permissive()),
+        vec![(12, Rule::U1)]
+    );
+}
+
+#[test]
+fn feature_fixture_pins_f1_lines() {
+    let src = fixture("feature_cfg.rs");
+    let feats = LintOptions {
+        declared_features: Some(["simd".to_string()].into_iter().collect()),
+        ..LintOptions::permissive()
+    };
+    assert_eq!(
+        findings_with(&src, &[Rule::F1], &feats),
+        vec![
+            (10, Rule::F1), // cfg(feature = "turbo"), undeclared
+            (15, Rule::F1), // cfg!(feature = "trubo"), undeclared
+        ]
+    );
+}
+
+#[test]
+fn dead_allow_fixture_reports_the_stale_suppression() {
+    let src = fixture("dead_allow.rs");
+    let lint = lint_source("fixture.rs", &src, &[Rule::D1, Rule::D3, Rule::A1]);
+    assert_eq!(lint.suppressed, 1, "the live D1 allow must be honored");
+    let remaining: Vec<(usize, Rule)> =
+        lint.diagnostics.iter().map(|d| (d.line, d.rule)).collect();
+    assert_eq!(remaining, vec![(11, Rule::A1)]);
+}
+
+#[test]
+fn forwarding_check_flags_missing_and_stale_reexports() {
+    let dep = manifest::parse(
+        "[package]\nname = \"core\"\n\n[features]\nsimd = []\n",
+    );
+    // No [features] at all: F1 points at the dependency line.
+    let missing = manifest::parse(
+        "[package]\nname = \"power\"\n\n[dependencies]\ncore = { path = \"../core\" }\n",
+    );
+    // Declared but not forwarding "core/simd": F1 points at the decl.
+    let stale = manifest::parse(
+        "[package]\nname = \"sched\"\n\n[dependencies]\ncore = { path = \"../core\" }\n\n\
+         [features]\nsimd = []\n",
+    );
+    // Correct forwarding chain: clean.
+    let good = manifest::parse(
+        "[package]\nname = \"bench\"\n\n[dependencies]\ncore = { path = \"../core\" }\n\n\
+         [features]\nsimd = [\"core/simd\"]\n",
+    );
+    // Dev-dependencies are exempt by design (test code is not shipped).
+    let dev_only = manifest::parse(
+        "[package]\nname = \"lint\"\n\n[dev-dependencies]\ncore = { path = \"../core\" }\n",
+    );
+    let manifests = vec![
+        ("core/Cargo.toml".to_string(), dep, true),
+        ("power/Cargo.toml".to_string(), missing, true),
+        ("sched/Cargo.toml".to_string(), stale, true),
+        ("bench/Cargo.toml".to_string(), good, true),
+        ("lint/Cargo.toml".to_string(), dev_only, true),
+    ];
+    let mut report = Report::default();
+    check_feature_forwarding(&manifests, &mut report);
+    let got: Vec<(&str, usize, Rule)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.file.as_str(), d.line, d.rule))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("power/Cargo.toml", 5, Rule::F1), // the `core = ...` line
+            ("sched/Cargo.toml", 8, Rule::F1), // the stale `simd = []` decl
+        ]
+    );
 }
 
 #[test]
@@ -98,9 +299,14 @@ fn severity_defaults_and_promotion() {
     assert_eq!(Rule::D1.default_severity(), Severity::Deny);
     assert_eq!(Rule::D2.default_severity(), Severity::Deny);
     assert_eq!(Rule::D3.default_severity(), Severity::Deny);
+    assert_eq!(Rule::S1.default_severity(), Severity::Deny);
+    assert_eq!(Rule::U2.default_severity(), Severity::Deny);
+    assert_eq!(Rule::F1.default_severity(), Severity::Deny);
     assert_eq!(Rule::D4.default_severity(), Severity::Warn);
     assert_eq!(Rule::R1.default_severity(), Severity::Warn);
     assert_eq!(Rule::R2.default_severity(), Severity::Warn);
+    assert_eq!(Rule::U1.default_severity(), Severity::Warn);
+    assert_eq!(Rule::A1.default_severity(), Severity::Warn);
     assert_eq!(Rule::Doc1.default_severity(), Severity::Warn);
     for rule in Rule::ALL {
         assert_eq!(simlint::effective_severity(rule, true), Severity::Deny);
@@ -128,20 +334,189 @@ fn live_workspace_is_clean() {
     assert!(report.suppressed > 0, "expected justified suppressions");
 }
 
+/// The simd cfg view swaps `thermal/src/simd.rs` into scope; the
+/// workspace must be clean there too (CI runs both views).
+#[test]
+fn live_workspace_is_clean_under_simd_view() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let default = lint_workspace(&root).unwrap_or_else(|e| panic!("{e}"));
+    let view = CfgView::with_features(["simd"]);
+    let simd = lint_workspace_with(&root, &view).unwrap_or_else(|e| panic!("{e}"));
+    assert!(
+        simd.diagnostics.is_empty(),
+        "workspace has simlint findings under --features simd:\n{:#?}",
+        simd.diagnostics
+    );
+    assert_eq!(
+        simd.files_scanned,
+        default.files_scanned + 1,
+        "the simd view must scan exactly one extra file (thermal/src/simd.rs)"
+    );
+}
+
+/// True when `line` mentions `name` as a whole identifier.
+fn mentions_ident(line: &str, name: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(name) {
+        let start = from + pos;
+        let end = start + name.len();
+        let before_ok = start == 0
+            || !(bytes[start - 1] == b'_' || bytes[start - 1].is_ascii_alphanumeric());
+        let after_ok = end == bytes.len()
+            || !(bytes[end] == b'_' || bytes[end].is_ascii_alphanumeric());
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Mutation sweep over the real snapshot-protocol sources: for every
+/// field a copying method copies, blanking that copy must make S1 fire.
+/// This is the live half of the acceptance criterion the fixture test
+/// pins — it holds for `System`, `Machine`, and `ThermalNetwork` alike.
+#[test]
+fn live_snapshot_sources_fail_s1_when_any_field_copy_is_deleted() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let targets = [
+        ("crates/sched/src/system.rs", policy::policy_for_crate("sched")),
+        ("crates/machine/src/machine.rs", policy::policy_for_crate("machine")),
+        ("crates/thermal/src/network.rs", policy::policy_for_crate("thermal")),
+    ];
+    let view = CfgView::default();
+    let mut mutations = 0usize;
+    for (rel, pol) in targets {
+        let src = std::fs::read_to_string(root.join(rel))
+            .unwrap_or_else(|e| panic!("cannot read {rel}: {e}"));
+        let syntax = parse::parse(&src, &view);
+        // Hold the file to exactly the policy types it defines (companion
+        // snapshot structs may live elsewhere in the crate).
+        let local_types: Vec<String> = pol
+            .snapshot_types
+            .iter()
+            .filter(|ty| syntax.structs.iter().any(|s| &s.name == *ty))
+            .map(|ty| ty.to_string())
+            .collect();
+        assert!(
+            !local_types.is_empty(),
+            "{rel} defines none of its crate's snapshot types"
+        );
+        let opts = LintOptions {
+            snapshot_types: local_types.clone(),
+            ..LintOptions::permissive()
+        };
+        let baseline = lint_source_with(rel, &src, &[Rule::S1], &opts);
+        assert!(
+            baseline.diagnostics.is_empty(),
+            "{rel} must start S1-clean: {:?}",
+            baseline.diagnostics
+        );
+        let lines: Vec<&str> = src.lines().collect();
+        let mut file_mutations = 0usize;
+        for ty in &local_types {
+            let sdef = syntax.structs.iter().find(|s| &s.name == ty).unwrap();
+            for imp in &syntax.impls {
+                if imp.is_trait_def || &imp.type_name != ty {
+                    continue;
+                }
+                for f in &imp.fns {
+                    // Only protocol methods are held to the contract.
+                    if !matches!(f.name.as_str(), "snapshot" | "fork" | "restore" | "clone") {
+                        continue;
+                    }
+                    for field in &sdef.fields {
+                        if field.shared || !f.body_idents.contains(&field.name) {
+                            continue;
+                        }
+                        // Blank every body line mentioning the field,
+                        // skipping brace lines so the parse stays balanced.
+                        let mutated: String = lines
+                            .iter()
+                            .enumerate()
+                            .map(|(i, l)| {
+                                let line_no = i + 1;
+                                let in_body = line_no > f.line && line_no <= f.end_line;
+                                if in_body
+                                    && mentions_ident(l, &field.name)
+                                    && !l.contains('{')
+                                    && !l.contains('}')
+                                {
+                                    ""
+                                } else {
+                                    l
+                                }
+                            })
+                            .collect::<Vec<_>>()
+                            .join("\n");
+                        // Only count mutations that actually removed the
+                        // field from the body (multi-line copies sharing a
+                        // brace line survive blanking and stay green).
+                        let reparsed = parse::parse(&mutated, &view);
+                        let mutated_fn = reparsed
+                            .impls
+                            .iter()
+                            .filter(|i2| !i2.is_trait_def && &i2.type_name == ty)
+                            .flat_map(|i2| &i2.fns)
+                            .find(|f2| f2.name == f.name && f2.line == f.line)
+                            .unwrap_or_else(|| panic!("{rel}: lost {}() in mutation", f.name));
+                        if mutated_fn.body_idents.contains(&field.name) {
+                            continue;
+                        }
+                        let still_copies = sdef
+                            .fields
+                            .iter()
+                            .any(|fd| mutated_fn.body_idents.contains(&fd.name));
+                        if !still_copies && sdef.derives.iter().any(|d| d == "Clone") {
+                            // The method degenerated to non-copying and the
+                            // derive is a complete field-wise copy: S1's
+                            // delegation exemption applies by design.
+                            continue;
+                        }
+                        let lint = lint_source_with(rel, &mutated, &[Rule::S1], &opts);
+                        assert!(
+                            lint.diagnostics.iter().any(|d| d.rule == Rule::S1
+                                && (d.message.contains(&format!("`{}`", field.name))
+                                    || d.message.contains(&format!("`{ty}`")))),
+                            "{rel}: deleting the `{}` copy in {}() did not fire S1",
+                            field.name,
+                            f.name
+                        );
+                        file_mutations += 1;
+                        mutations += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            file_mutations >= 2,
+            "{rel}: expected at least two field-copy mutations, got {file_mutations}"
+        );
+    }
+    assert!(
+        mutations >= 10,
+        "mutation sweep looks vacuous: only {mutations} mutations ran"
+    );
+}
+
 /// End-to-end: the binary exits 0 on the clean workspace even with
-/// `--deny-warnings`, and prints the one-line summary.
+/// `--deny-warnings`, under both cfg views, and prints the summary.
 #[test]
 fn binary_exits_zero_on_clean_workspace() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let output = Command::new(env!("CARGO_BIN_EXE_simlint"))
-        .args(["--deny-warnings", "--root"])
-        .arg(&root)
-        .output()
-        .expect("run simlint binary");
-    let stdout = String::from_utf8_lossy(&output.stdout);
-    assert!(output.status.success(), "simlint failed:\n{stdout}");
-    assert!(
-        stdout.contains("files scanned") && stdout.contains("0 violations"),
-        "missing summary line:\n{stdout}"
-    );
+    for extra in [&[][..], &["--features", "simd"][..]] {
+        let output = Command::new(env!("CARGO_BIN_EXE_simlint"))
+            .args(["--deny-warnings", "--root"])
+            .arg(&root)
+            .args(extra)
+            .output()
+            .expect("run simlint binary");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(output.status.success(), "simlint {extra:?} failed:\n{stdout}");
+        assert!(
+            stdout.contains("files scanned") && stdout.contains("0 violations"),
+            "missing summary line:\n{stdout}"
+        );
+    }
 }

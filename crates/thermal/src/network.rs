@@ -396,15 +396,19 @@ impl ThermalNetworkBuilder {
 /// [`snapshot`](ThermalNetwork::snapshot) / [`restore`](ThermalNetwork::restore).
 #[derive(Debug, Clone)]
 pub struct ThermalNetwork {
+    // simlint::shared: Arc-shared immutable topology.
     pub(crate) topo: Arc<Topology>,
     temperatures: Vec<f64>,
     powers: Vec<f64>,
     /// Integrator workspace: the previous substep's temperatures.
+    // simlint::shared: scratch, fully overwritten before every use.
     scratch: Vec<f64>,
     /// Per-node decay factors for an *irregular* substep of `decay_dt_s`
     /// seconds (a remainder shorter than `max_substep`); the common
     /// full-length factors live precomputed in the topology.
+    // simlint::shared: pure cache keyed by `decay_dt_s`, rebuilt on use.
     decay: Vec<f64>,
+    // simlint::shared: cache key for `decay`; not observable state.
     decay_dt_s: f64,
 }
 
@@ -585,9 +589,7 @@ impl ThermalNetwork {
         let new: &mut [f64] = &mut self.temperatures;
 
         #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-        if crate::simd::avx2_active() {
-            // Safety: avx2_active() verified the CPU supports AVX2.
-            unsafe { crate::simd::substep_avx2(topo, old, &self.powers, decay, new) };
+        if crate::simd::substep_vector(topo, old, &self.powers, decay, new) {
             return;
         }
 

@@ -39,6 +39,28 @@ pub fn avx2_active() -> bool {
     !FORCE_SCALAR.load(Ordering::Relaxed) && is_x86_feature_detected!("avx2")
 }
 
+/// Safe entry point for the vector substep: runs the AVX2 kernel when the
+/// dispatch check passes and reports whether it did. Keeps the one
+/// `unsafe` call in this module, next to the kernel it guards — callers
+/// (the integrator in `network.rs`) stay entirely safe code.
+pub(crate) fn substep_vector(
+    topo: &Topology,
+    old: &[f64],
+    powers: &[f64],
+    decay: &[f64],
+    new: &mut [f64],
+) -> bool {
+    if !avx2_active() {
+        return false;
+    }
+    // SAFETY: avx2_active() just verified the CPU supports AVX2, which is
+    // the only precondition of the target_feature kernel; all slices come
+    // from the same network, so the topology's padded indices are in
+    // bounds for `old`.
+    unsafe { substep_avx2(topo, old, powers, decay, new) };
+    true
+}
+
 /// One exponential-Euler substep over the padded slot-major structure.
 ///
 /// # Safety
