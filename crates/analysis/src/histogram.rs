@@ -120,7 +120,13 @@ impl Histogram {
         let full_bins = if threshold >= self.hi {
             self.bins.len()
         } else {
-            (((threshold - self.lo) / width).floor() as usize).min(self.bins.len())
+            // Mirror `add`'s binning expression exactly, clamp included:
+            // an in-range threshold owns a bin the same way a sample does,
+            // and that bin is never counted as "below". The old
+            // `.min(self.bins.len())` clamp let float rounding at the top
+            // of the range count the threshold's own bin — a sample could
+            // be reported strictly below a threshold it equalled.
+            (((threshold - self.lo) / width) as usize).min(self.bins.len() - 1)
         };
         let below: u64 = self.underflow + self.bins[..full_bins].iter().sum::<u64>();
         below as f64 / self.count as f64
@@ -260,6 +266,27 @@ mod tests {
     }
 
     #[test]
+    fn quantile_q0_on_single_sample_histogram() {
+        // rank = max(ceil(0 * 1), 1) = 1: q = 0 must resolve to the one
+        // recorded sample's bin edge, not underflow to lo.
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(7.3);
+        assert_eq!(h.quantile(0.0), Some(8.0));
+        assert_eq!(h.quantile(0.5), Some(8.0));
+        assert_eq!(h.quantile(1.0), Some(8.0));
+    }
+
+    #[test]
+    fn fraction_below_excludes_the_thresholds_own_bin() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(9.5);
+        // 9.5 and 9.9 share the last bin: at bin resolution the sample is
+        // not strictly below the threshold, even at the top of the range.
+        assert_eq!(h.fraction_below(9.9), 0.0);
+        assert_eq!(h.fraction_below(10.0), 1.0);
+    }
+
+    #[test]
     fn quantile_clamps_out_of_range_samples() {
         let mut h = Histogram::new(0.0, 10.0, 10);
         h.add(-5.0);
@@ -316,8 +343,34 @@ mod tests {
             }
         }
 
-        /// Quantiles stay within [lo, hi] and are monotone in q, even with
-        /// under/overflow samples present.
+        /// An in-range threshold's fraction equals underflow plus the full
+        /// bins strictly below the threshold's own bin, where "own bin" is
+        /// computed with `add`'s exact binning expression — the two
+        /// functions may never disagree about which bin a value owns.
+        #[test]
+        fn prop_fraction_below_matches_adds_binning(
+            values in prop::collection::vec(-20.0f64..20.0, 1..150),
+            threshold in -10.0f64..10.0,
+        ) {
+            let (lo, hi, bins) = (-10.0f64, 10.0f64, 16usize);
+            let mut h = Histogram::new(lo, hi, bins);
+            for &v in &values {
+                h.add(v);
+            }
+            let width = (hi - lo) / bins as f64;
+            let own_bin = (((threshold - lo) / width) as usize).min(bins - 1);
+            let below = h.underflow() + h.bins()[..own_bin].iter().sum::<u64>();
+            let expected = below as f64 / h.count() as f64;
+            prop_assert!(
+                (h.fraction_below(threshold) - expected).abs() < 1e-15,
+                "fraction_below({threshold}) = {} disagrees with add's binning ({expected})",
+                h.fraction_below(threshold)
+            );
+        }
+
+        /// Quantiles stay within [lo, hi], are monotone in q, and always
+        /// return a recorded value's representative: lo (underflow), hi
+        /// (overflow), or the upper edge of a non-empty bin.
         #[test]
         fn prop_quantile_bounds_and_monotone(
             values in prop::collection::vec(-20.0f64..20.0, 1..150)
@@ -326,12 +379,30 @@ mod tests {
             for &v in &values {
                 h.add(v);
             }
+            let width = 20.0 / 16.0;
+            let mut representatives: Vec<f64> = h
+                .bins()
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(i, _)| -10.0 + (i as f64 + 1.0) * width)
+                .collect();
+            if h.underflow() > 0 {
+                representatives.push(-10.0);
+            }
+            if h.overflow() > 0 {
+                representatives.push(10.0);
+            }
             let mut prev = f64::NEG_INFINITY;
             for i in 0..=10 {
                 let q = i as f64 / 10.0;
                 let x = h.quantile(q).unwrap();
                 prop_assert!((-10.0..=10.0).contains(&x), "quantile {x} out of range");
                 prop_assert!(x >= prev, "quantile not monotone: {x} < {prev}");
+                prop_assert!(
+                    representatives.iter().any(|r| r.to_bits() == x.to_bits()),
+                    "quantile({q}) = {x} is not a recorded bin's representative"
+                );
                 prev = x;
             }
         }

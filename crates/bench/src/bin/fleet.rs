@@ -1,0 +1,109 @@
+//! Regenerates the fleet comparison: every cluster routing policy over
+//! the same rack-coupled fleet and the same offered load, reporting
+//! per-rack peak/RMS temperature, trip counts, and tail latency.
+//!
+//! ```text
+//! cargo run --release -p dimetrodon-bench --bin fleet            # 256 machines
+//! cargo run --release -p dimetrodon-bench --bin fleet -- --quick # 32 machines
+//! cargo run --release -p dimetrodon-bench --bin fleet -- --machines 1024 --jobs 4
+//! ```
+//!
+//! Like every sweep-shaped binary, output is bit-identical at every
+//! `--jobs` count, and a killed run resumes from its journal with
+//! `--resume` (disable journaling with `--no-journal`).
+
+use dimetrodon_bench::{apply_common_args, banner, quick_requested, results_dir, write_csv};
+use dimetrodon_fleet::{fleet_comparison, fleet_table, FleetConfig, FleetJournal};
+
+fn main() -> std::process::ExitCode {
+    banner(
+        "fleet",
+        "cluster routing policies over a rack-coupled fleet; placement as a thermal knob",
+    );
+    apply_common_args();
+    let args: Vec<String> = std::env::args().collect();
+    let seed = match args.iter().position(|a| a == "--seed") {
+        Some(pos) => args
+            .get(pos + 1)
+            .and_then(|s| s.parse().ok())
+            .expect("--seed requires an integer"),
+        None => 211,
+    };
+    let quick = quick_requested();
+    let machines = match args.iter().position(|a| a == "--machines") {
+        Some(pos) => {
+            let n: usize = args
+                .get(pos + 1)
+                .and_then(|s| s.parse().ok())
+                .expect("--machines requires a positive integer");
+            assert!(n > 0, "--machines requires a positive integer");
+            n
+        }
+        None if quick => 32,
+        None => 256,
+    };
+    let mut config = FleetConfig::rack_scale(machines, seed);
+    if quick {
+        config.duration = FleetConfig::quick(seed).duration;
+    }
+    println!(
+        "{} machines in {} racks, {} tenants, {} epochs per policy",
+        config.machines,
+        config.racks(),
+        config.tenants,
+        config.epochs()
+    );
+
+    let journal = if args.iter().any(|a| a == "--no-journal") {
+        None
+    } else {
+        let resume = args.iter().any(|a| a == "--resume");
+        Some(FleetJournal::open(
+            &results_dir().join(".journal"),
+            config.fingerprint(),
+            resume,
+        ))
+    };
+    let outcomes = fleet_comparison(&config, journal.as_ref());
+    let replayed = outcomes.iter().filter(|o| o.replayed).count();
+    if replayed > 0 {
+        println!("[resume: {replayed} policy variant(s) replayed from journal]");
+    }
+
+    let table = fleet_table(&outcomes);
+    println!("{}", table.render());
+    write_csv("fleet", &table);
+
+    let fleet_peak = |outcome: &dimetrodon_fleet::FleetOutcome| {
+        outcome
+            .reports
+            .iter()
+            .map(|r| r.peak_celsius)
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+    if let Some(coolest) = outcomes
+        .iter()
+        .min_by(|a, b| fleet_peak(a).total_cmp(&fleet_peak(b)))
+    {
+        println!(
+            "\nCoolest peak: {} at {:.2} C; total trips per policy: {}.",
+            coolest.policy.name(),
+            fleet_peak(coolest),
+            outcomes
+                .iter()
+                .map(|o| format!(
+                    "{} {}",
+                    o.policy.name(),
+                    o.reports.iter().map(|r| r.trips).sum::<u64>()
+                ))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+    }
+    println!(
+        "Thermal-aware placement flattens rack temperature at some queueing \
+         cost; the per-rack p99 column prices that trade."
+    );
+
+    dimetrodon_bench::supervision_epilogue()
+}

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use dimetrodon_fleet::PolicyKind;
 use dimetrodon_sim_core::SimDuration;
 use dimetrodon_workload::SpecBenchmark;
 
@@ -103,6 +104,12 @@ pub struct Options {
     /// Disable warm-prefix snapshot reuse in sweep-shaped runs (identical
     /// results, cold-path timing).
     pub no_snapshot: bool,
+    /// Run the fleet comparison over this many rack-coupled machines
+    /// instead of a single-machine scenario.
+    pub fleet: Option<usize>,
+    /// Restrict a `--fleet` run to one routing policy (default: compare
+    /// all of them).
+    pub fleet_policy: Option<PolicyKind>,
 }
 
 impl Default for Options {
@@ -128,6 +135,8 @@ impl Default for Options {
             retries: 0,
             point_deadline: None,
             no_snapshot: false,
+            fleet: None,
+            fleet_policy: None,
         }
     }
 }
@@ -210,6 +219,12 @@ OPTIONS:
     --point-deadline <s> wall-clock watchdog per sweep-point attempt
     --no-snapshot      recompute every warmup prefix instead of forking a
                        cached snapshot (identical results, slower)
+    --fleet <n>        run the cluster comparison over n rack-coupled
+                       machines instead of a single-machine scenario
+                       (honours --duration-secs, --seed, --jobs)
+    --fleet-policy <p> restrict --fleet to one routing policy:
+                       round-robin | least-loaded | coolest-first |
+                       pinned-migrate          [default: compare all]
     --help             print this text
 ";
 
@@ -417,6 +432,31 @@ impl Options {
                     options.point_deadline = Some(secs);
                 }
                 "--no-snapshot" => options.no_snapshot = true,
+                "--fleet" => {
+                    let raw = value_for("--fleet")?;
+                    let n: usize = raw.parse().map_err(|_| ParseArgsError::BadValue {
+                        flag: "--fleet",
+                        value: raw.clone(),
+                        expected: "a positive machine count",
+                    })?;
+                    if n == 0 {
+                        return Err(ParseArgsError::BadValue {
+                            flag: "--fleet",
+                            value: raw,
+                            expected: "a positive machine count",
+                        });
+                    }
+                    options.fleet = Some(n);
+                }
+                "--fleet-policy" => {
+                    let raw = value_for("--fleet-policy")?;
+                    options.fleet_policy =
+                        Some(PolicyKind::parse(&raw).ok_or(ParseArgsError::BadValue {
+                            flag: "--fleet-policy",
+                            value: raw,
+                            expected: "round-robin | least-loaded | coolest-first | pinned-migrate",
+                        })?);
+                }
                 "--help" | "-h" => return Err(ParseArgsError::HelpRequested),
                 other => return Err(ParseArgsError::UnknownFlag(other.to_string())),
             }
@@ -574,6 +614,23 @@ mod tests {
             Err(ParseArgsError::BadValue { flag: "--point-deadline", .. })
         ));
         assert!(USAGE.contains("--strict") && USAGE.contains("--point-deadline"));
+    }
+
+    #[test]
+    fn fleet_flags_parse_and_validate() {
+        let o = Options::parse(["--fleet", "64", "--fleet-policy", "coolest-first"]).unwrap();
+        assert_eq!(o.fleet, Some(64));
+        assert_eq!(o.fleet_policy, Some(PolicyKind::CoolestFirst));
+        assert_eq!(Options::parse(Vec::<String>::new()).unwrap().fleet, None);
+        assert!(matches!(
+            Options::parse(["--fleet", "0"]),
+            Err(ParseArgsError::BadValue { flag: "--fleet", .. })
+        ));
+        assert!(matches!(
+            Options::parse(["--fleet-policy", "hottest-first"]),
+            Err(ParseArgsError::BadValue { flag: "--fleet-policy", .. })
+        ));
+        assert!(USAGE.contains("--fleet") && USAGE.contains("--fleet-policy"));
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! The `--fleet` path: run the cluster comparison from the CLI.
+
+use dimetrodon_fleet::{
+    fleet_comparison, fleet_table, run_fleet, FleetConfig, FleetOutcome, PolicyKind,
+};
+
+use crate::args::Options;
+
+/// Builds the fleet configuration a `--fleet` run uses: the rack-scale
+/// preset at the requested machine count, with the CLI's duration and
+/// seed applied.
+pub fn fleet_config(options: &Options) -> FleetConfig {
+    let machines = options
+        .fleet
+        .expect("fleet_config is only called for --fleet runs");
+    let mut config = FleetConfig::rack_scale(machines, options.seed);
+    config.duration = options.duration;
+    config
+}
+
+/// Runs the fleet comparison (or a single `--fleet-policy` variant) and
+/// renders the per-rack table plus a one-line summary.
+pub fn run_fleet_scenario(options: &Options) -> String {
+    let config = fleet_config(options);
+    let outcomes: Vec<FleetOutcome> = match options.fleet_policy {
+        Some(kind) => {
+            let mut policy = kind.build(&config);
+            vec![FleetOutcome {
+                policy: kind,
+                reports: run_fleet(&config, policy.as_mut()),
+                replayed: false,
+            }]
+        }
+        None => fleet_comparison(&config, None),
+    };
+    let mut rendered = fleet_table(&outcomes).render();
+    let trips: u64 = outcomes
+        .iter()
+        .flat_map(|o| o.reports.iter().map(|r| r.trips))
+        .sum();
+    let peak = outcomes
+        .iter()
+        .flat_map(|o| o.reports.iter().map(|r| r.peak_celsius))
+        .fold(f64::NEG_INFINITY, f64::max);
+    rendered.push_str(&format!(
+        "\n{} machines in {} racks over {} epochs; fleet peak {:.2} C, {} trip(s).\n",
+        config.machines,
+        config.racks(),
+        config.epochs(),
+        peak,
+        trips,
+    ));
+    rendered
+}
+
+/// The policy set a `--fleet` run compares (for the report header).
+pub fn compared_policies(options: &Options) -> Vec<&'static str> {
+    match options.fleet_policy {
+        Some(kind) => vec![kind.name()],
+        None => PolicyKind::ALL.map(PolicyKind::name).to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dimetrodon_sim_core::SimDuration;
+
+    fn fleet_options(extra: &[&str]) -> Options {
+        let mut args = vec!["--fleet", "4", "--duration-secs", "5"];
+        args.extend_from_slice(extra);
+        Options::parse(args).expect("valid fleet options")
+    }
+
+    #[test]
+    fn config_honours_duration_seed_and_count() {
+        let options = fleet_options(&["--seed", "77"]);
+        let config = fleet_config(&options);
+        assert_eq!(config.machines, 4);
+        assert_eq!(config.seed, 77);
+        assert_eq!(config.duration, SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn single_policy_run_renders_one_policy() {
+        let options = fleet_options(&["--fleet-policy", "coolest-first"]);
+        assert_eq!(compared_policies(&options), ["coolest-first"]);
+        let rendered = run_fleet_scenario(&options);
+        assert!(rendered.contains("coolest-first"));
+        assert!(!rendered.contains("round-robin"));
+        assert!(rendered.contains("4 machines in 1 racks"));
+    }
+
+    #[test]
+    fn comparison_run_renders_every_policy() {
+        let options = fleet_options(&[]);
+        let rendered = run_fleet_scenario(&options);
+        for name in compared_policies(&options) {
+            assert!(rendered.contains(name), "{name} missing from report");
+        }
+    }
+}

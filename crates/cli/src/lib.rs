@@ -18,7 +18,9 @@
 #![warn(missing_debug_implementations)]
 
 mod args;
+mod fleet;
 mod report;
 
 pub use args::{Options, ParseArgsError, SchedulerChoice, WorkloadChoice, USAGE};
+pub use fleet::{compared_policies, fleet_config, run_fleet_scenario};
 pub use report::{run_scenario, supervisor_config, Report, ScenarioError};

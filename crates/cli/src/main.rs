@@ -34,6 +34,17 @@ fn main() -> ExitCode {
     }
     dimetrodon_harness::supervise::install(dimetrodon_cli::supervisor_config(&options));
 
+    if options.fleet.is_some() {
+        println!(
+            "running fleet comparison ({}) for {} (seed {})...",
+            dimetrodon_cli::compared_policies(&options).join(", "),
+            options.duration,
+            options.seed
+        );
+        print!("{}", dimetrodon_cli::run_fleet_scenario(&options));
+        return ExitCode::SUCCESS;
+    }
+
     println!(
         "running {:?} for {} (seed {})...",
         options.workload, options.duration, options.seed

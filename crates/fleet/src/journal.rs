@@ -1,0 +1,327 @@
+//! The fleet comparison's crash-resumable journal.
+//!
+//! Same discipline as the sweep supervisor's journal (`results/.journal/`,
+//! one text line per completed unit, floats as 16-hex-digit IEEE-754 bit
+//! patterns, a truncated final line silently dropped), but the unit is a
+//! whole policy variant: one line carries every rack report of one
+//! [`PolicyKind`](crate::PolicyKind) run. Lines are independent and keyed
+//! by variant index, so worker threads may append in completion order and
+//! a resumed comparison still reassembles results in variant order.
+//!
+//! The file name embeds [`FleetConfig::fingerprint`](crate::FleetConfig::fingerprint)
+//! — the explicit byte-serialized identity, not a `Debug` rendering — so a
+//! journal can never be replayed against a config it does not describe.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::policy::PolicyKind;
+use crate::sim::RackReport;
+
+/// The journal file path for a fleet comparison inside `dir`.
+pub fn journal_path(dir: &Path, config_fingerprint: u64) -> PathBuf {
+    dir.join(format!("fleet-{config_fingerprint:016x}.journal"))
+}
+
+/// Serializes one completed variant as a single journal line (no trailing
+/// newline). Exposed for the journal property tests.
+///
+/// Format, whitespace-separated:
+///
+/// ```text
+/// variant <index> <policy-name> <n-racks> <rack> <rack> ...
+/// ```
+///
+/// where each `<rack>` is
+/// `machines:peak:rms:trips:requests:good:p99`, floats as full-width hex
+/// bit patterns and an absent p99 as `-`. The up-front rack count is what
+/// makes SIGKILL truncation detectable: a line with fewer rack tokens
+/// than it declares never decodes.
+pub fn encode_entry(variant: usize, policy: &str, reports: &[RackReport]) -> String {
+    let mut line = format!("variant {variant} {policy} {}", reports.len());
+    for report in reports {
+        let p99 = match report.p99_latency_s {
+            Some(v) => format!("{:016x}", v.to_bits()),
+            None => "-".to_string(),
+        };
+        line.push_str(&format!(
+            " {}:{:016x}:{:016x}:{}:{}:{:016x}:{}",
+            report.machines,
+            report.peak_celsius.to_bits(),
+            report.rms_celsius.to_bits(),
+            report.trips,
+            report.requests,
+            report.good_fraction.to_bits(),
+            p99,
+        ));
+    }
+    line
+}
+
+/// Parses a full-width (16-digit) hex f64 bit pattern; the fixed width
+/// rejects truncation.
+fn parse_hex_f64(token: &str) -> Option<f64> {
+    if token.len() != 16 {
+        return None;
+    }
+    let value = f64::from_bits(u64::from_str_radix(token, 16).ok()?);
+    value.is_finite().then_some(value)
+}
+
+/// Parses one journal line back into `(variant, policy name, reports)`.
+/// Returns `None` for comments, blanks, and malformed or truncated lines.
+/// Exposed for the journal property tests.
+pub fn decode_entry(line: &str) -> Option<(usize, String, Vec<RackReport>)> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if tokens.len() < 4 || tokens[0] != "variant" {
+        return None;
+    }
+    let variant: usize = tokens[1].parse().ok()?;
+    let policy = tokens[2].to_string();
+    let racks: usize = tokens[3].parse().ok()?;
+    if tokens.len() != 4 + racks {
+        return None;
+    }
+    let mut reports = Vec::with_capacity(racks);
+    for (rack, token) in tokens[4..].iter().enumerate() {
+        let fields: Vec<&str> = token.split(':').collect();
+        if fields.len() != 7 {
+            return None;
+        }
+        reports.push(RackReport {
+            rack,
+            machines: fields[0].parse().ok()?,
+            peak_celsius: parse_hex_f64(fields[1])?,
+            rms_celsius: parse_hex_f64(fields[2])?,
+            trips: fields[3].parse().ok()?,
+            requests: fields[4].parse().ok()?,
+            good_fraction: parse_hex_f64(fields[5])?,
+            p99_latency_s: match fields[6] {
+                "-" => None,
+                hex => Some(parse_hex_f64(hex)?),
+            },
+        });
+    }
+    Some((variant, policy, reports))
+}
+
+/// A fleet comparison's journal: replayed entries loaded at open, live
+/// appends flushed line-at-a-time so a SIGKILL costs at most the line
+/// being written.
+#[derive(Debug)]
+pub struct FleetJournal {
+    path: PathBuf,
+    entries: BTreeMap<usize, Vec<RackReport>>,
+    /// `None` once an I/O error has disabled journaling (the comparison
+    /// itself must keep going; resumability is best-effort).
+    file: Mutex<Option<File>>,
+}
+
+impl FleetJournal {
+    /// Opens the journal for `config_fingerprint` inside `dir`.
+    ///
+    /// With `resume` set, every decodable entry whose variant index names
+    /// a known [`PolicyKind`] with a matching name is loaded for replay,
+    /// the file is healed to that valid prefix (a SIGKILL can leave a
+    /// torn, newline-less tail that would otherwise corrupt the next
+    /// append), and new entries append after it. Without `resume`, any
+    /// stale journal is truncated and the comparison starts fresh. I/O
+    /// failures disable journaling with a warning instead of failing the
+    /// run.
+    pub fn open(dir: &Path, config_fingerprint: u64, resume: bool) -> FleetJournal {
+        let path = journal_path(dir, config_fingerprint);
+        let mut entries = BTreeMap::new();
+        if resume {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                for line in text.lines() {
+                    if let Some((variant, policy, reports)) = decode_entry(line) {
+                        let known = PolicyKind::ALL
+                            .get(variant)
+                            .is_some_and(|kind| kind.name() == policy);
+                        if known {
+                            // Later entries win, matching append order.
+                            entries.insert(variant, reports);
+                        }
+                    }
+                }
+            }
+        }
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create journal dir {}: {err}", dir.display());
+            return FleetJournal {
+                path,
+                entries,
+                file: Mutex::new(None),
+            };
+        }
+        // Always rewrite header + surviving entries: a SIGKILL can leave a
+        // torn, newline-less tail, and appending straight after it would
+        // corrupt the first new line. Healing the file to its valid
+        // prefix makes every append land on a line boundary.
+        let opened = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(&path);
+        let file = match opened {
+            Ok(mut file) => {
+                let mut prefix = format!(
+                    "# dimetrodon fleet journal v1 config {config_fingerprint:016x}\n"
+                );
+                for (&variant, reports) in &entries {
+                    // A replayed variant's name is its index's by
+                    // construction of the `known` filter above.
+                    let name = PolicyKind::ALL[variant].name();
+                    prefix.push_str(&encode_entry(variant, name, reports));
+                    prefix.push('\n');
+                }
+                if let Err(err) = file.write_all(prefix.as_bytes()).and_then(|()| file.flush()) {
+                    eprintln!("warning: journal write failed ({err}); journaling disabled");
+                    None
+                } else {
+                    Some(file)
+                }
+            }
+            Err(err) => {
+                eprintln!(
+                    "warning: cannot open journal {}: {err}; journaling disabled",
+                    path.display()
+                );
+                None
+            }
+        };
+        FleetJournal {
+            path,
+            entries,
+            file: Mutex::new(file),
+        }
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Variants loaded for replay at open.
+    pub fn replayed_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The replayed reports for a variant, if its line survived.
+    pub fn replayed(&self, variant: usize) -> Option<Vec<RackReport>> {
+        self.entries.get(&variant).cloned()
+    }
+
+    /// Appends one completed variant and flushes, so a SIGKILL immediately
+    /// after still finds the line on resume. Thread-safe; workers append
+    /// in completion order.
+    pub fn append(&self, variant: usize, policy: &str, reports: &[RackReport]) {
+        let mut guard = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(file) = guard.as_mut() {
+            let mut line = encode_entry(variant, policy, reports);
+            line.push('\n');
+            let written = file.write_all(line.as_bytes()).and_then(|()| file.flush());
+            if let Err(err) = written {
+                eprintln!("warning: journal write failed ({err}); journaling disabled");
+                *guard = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_reports() -> Vec<RackReport> {
+        vec![
+            RackReport {
+                rack: 0,
+                machines: 16,
+                peak_celsius: 51.25,
+                rms_celsius: 47.031,
+                trips: 3,
+                requests: 12_000,
+                good_fraction: 0.9925,
+                p99_latency_s: Some(2.75),
+            },
+            RackReport {
+                rack: 1,
+                machines: 2,
+                peak_celsius: 40.0,
+                rms_celsius: 38.5,
+                trips: 0,
+                requests: 0,
+                good_fraction: 0.0,
+                p99_latency_s: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn entries_round_trip_bit_for_bit() {
+        let reports = sample_reports();
+        let line = encode_entry(2, "coolest-first", &reports);
+        let (variant, policy, decoded) = decode_entry(&line).expect("round trip");
+        assert_eq!(variant, 2);
+        assert_eq!(policy, "coolest-first");
+        assert_eq!(decoded, reports);
+    }
+
+    #[test]
+    fn every_truncation_of_a_line_is_rejected_or_decodes_a_prefix_free_value() {
+        // A SIGKILL can cut the final line anywhere; no prefix of a
+        // valid line may decode (the declared rack count guards it).
+        let line = encode_entry(1, "least-loaded", &sample_reports());
+        for cut in 0..line.len() {
+            assert!(
+                decode_entry(&line[..cut]).is_none(),
+                "truncation at byte {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn comments_blanks_and_garbage_are_skipped() {
+        assert!(decode_entry("").is_none());
+        assert!(decode_entry("# header").is_none());
+        assert!(decode_entry("point 0123 garbage").is_none());
+        assert!(decode_entry("variant x round-robin 0").is_none());
+    }
+
+    #[test]
+    fn open_resume_replays_only_known_variants() {
+        let dir = std::env::temp_dir().join(format!(
+            "fleet-journal-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let fingerprint = 0xabcd_ef01_2345_6789;
+        {
+            let journal = FleetJournal::open(&dir, fingerprint, false);
+            journal.append(0, "round-robin", &sample_reports());
+            // An entry whose name does not match its variant index is
+            // from an incompatible policy set and must not replay.
+            journal.append(1, "not-a-policy", &sample_reports());
+        }
+        let resumed = FleetJournal::open(&dir, fingerprint, true);
+        assert_eq!(resumed.replayed_count(), 1);
+        assert_eq!(
+            resumed.replayed(0).expect("variant 0 replays"),
+            sample_reports()
+        );
+        assert!(resumed.replayed(1).is_none());
+
+        // Fresh open truncates.
+        let fresh = FleetJournal::open(&dir, fingerprint, false);
+        assert_eq!(fresh.replayed_count(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

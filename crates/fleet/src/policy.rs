@@ -1,0 +1,303 @@
+//! Cluster routing policies: where each arriving request runs.
+
+use crate::config::FleetConfig;
+
+/// The per-epoch cluster state a policy may consult. All slices are
+/// indexed by machine (except `tenant_demand_cpu_s`, by tenant) and
+/// reflect the fleet *as of the routing decision* — backlog already
+/// includes earlier arrivals of the same epoch, so load-aware policies
+/// spread a burst instead of dog-piling one machine.
+#[derive(Debug)]
+pub struct FleetView<'a> {
+    /// Queued CPU-seconds per machine, this epoch's earlier arrivals
+    /// included.
+    pub backlog_cpu_s: &'a [f64],
+    /// Mean sensor temperature per machine at the end of the previous
+    /// epoch, °C.
+    pub temps_celsius: &'a [f64],
+    /// Cumulative routed CPU demand per tenant, CPU-seconds.
+    pub tenant_demand_cpu_s: &'a [f64],
+}
+
+impl FleetView<'_> {
+    /// Number of machines in the fleet.
+    pub fn machines(&self) -> usize {
+        self.backlog_cpu_s.len()
+    }
+}
+
+/// A cluster-level request router. `route` is called once per request
+/// (in arrival order); `end_epoch` once per control epoch, after the
+/// machines advanced — the hook where slow placement decisions like
+/// migration live.
+pub trait RoutePolicy {
+    /// Stable policy name, used in CSV rows and journal lines.
+    fn name(&self) -> &'static str;
+    /// Picks the machine index (`< view.machines()`) the request runs on.
+    fn route(&mut self, tenant: usize, view: &FleetView<'_>) -> usize;
+    /// End-of-epoch hook; default does nothing.
+    fn end_epoch(&mut self, _view: &FleetView<'_>) {}
+}
+
+/// Index of the smallest value, lowest index on ties (strict `<` keeps
+/// the scan deterministic without any float equality).
+fn argmin(values: &[f64]) -> usize {
+    let mut best = 0;
+    for i in 1..values.len() {
+        if values[i] < values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Index of the largest value, lowest index on ties.
+fn argmax(values: &[f64]) -> usize {
+    let mut best = 0;
+    for i in 1..values.len() {
+        if values[i] > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Cycles through machines in index order, ignoring load and
+/// temperature. The baseline every load balancer is measured against.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoutePolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn route(&mut self, _tenant: usize, view: &FleetView<'_>) -> usize {
+        let chosen = self.next % view.machines();
+        self.next = (chosen + 1) % view.machines();
+        chosen
+    }
+}
+
+/// Sends each request to the machine with the least queued work.
+#[derive(Debug, Clone, Default)]
+pub struct LeastLoaded;
+
+impl RoutePolicy for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn route(&mut self, _tenant: usize, view: &FleetView<'_>) -> usize {
+        argmin(view.backlog_cpu_s)
+    }
+}
+
+/// Sends each request to the coolest machine: thermal-aware placement,
+/// trading some queueing efficiency for flatter rack temperatures.
+#[derive(Debug, Clone, Default)]
+pub struct CoolestFirst;
+
+impl RoutePolicy for CoolestFirst {
+    fn name(&self) -> &'static str {
+        "coolest-first"
+    }
+
+    fn route(&mut self, _tenant: usize, view: &FleetView<'_>) -> usize {
+        argmin(view.temps_celsius)
+    }
+}
+
+/// Pins every tenant to a home machine (tenant affinity: caches, local
+/// state) and migrates at epoch granularity: when the hottest machine
+/// runs more than the hysteresis above the coolest, its
+/// heaviest-demand tenant moves to the coolest machine.
+#[derive(Debug, Clone)]
+pub struct PinnedMigrate {
+    home: Vec<usize>,
+    hysteresis_celsius: f64,
+    migrations: u64,
+}
+
+impl PinnedMigrate {
+    /// Pins tenant `t` to machine `t % machines` initially.
+    pub fn new(tenants: usize, machines: usize, hysteresis_celsius: f64) -> PinnedMigrate {
+        assert!(machines > 0, "need at least one machine");
+        PinnedMigrate {
+            home: (0..tenants).map(|t| t % machines).collect(),
+            hysteresis_celsius,
+            migrations: 0,
+        }
+    }
+
+    /// Tenants moved so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// The current home of a tenant.
+    pub fn home_of(&self, tenant: usize) -> usize {
+        self.home[tenant]
+    }
+}
+
+impl RoutePolicy for PinnedMigrate {
+    fn name(&self) -> &'static str {
+        "pinned-migrate"
+    }
+
+    fn route(&mut self, tenant: usize, _view: &FleetView<'_>) -> usize {
+        self.home[tenant]
+    }
+
+    fn end_epoch(&mut self, view: &FleetView<'_>) {
+        if view.machines() < 2 {
+            return;
+        }
+        let hottest = argmax(view.temps_celsius);
+        let coolest = argmin(view.temps_celsius);
+        if view.temps_celsius[hottest] - view.temps_celsius[coolest] <= self.hysteresis_celsius {
+            return;
+        }
+        // Move the hottest machine's heaviest tenant (lowest id on ties).
+        let mut heaviest: Option<usize> = None;
+        for (tenant, &home) in self.home.iter().enumerate() {
+            if home != hottest {
+                continue;
+            }
+            let heavier = match heaviest {
+                Some(best) => view.tenant_demand_cpu_s[tenant] > view.tenant_demand_cpu_s[best],
+                None => true,
+            };
+            if heavier {
+                heaviest = Some(tenant);
+            }
+        }
+        if let Some(tenant) = heaviest {
+            self.home[tenant] = coolest;
+            self.migrations += 1;
+        }
+    }
+}
+
+/// The policy variants the fleet experiment compares. A plain enum so
+/// CSV rows, journal lines, and CLI flags all name the same set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`LeastLoaded`].
+    LeastLoaded,
+    /// [`CoolestFirst`].
+    CoolestFirst,
+    /// [`PinnedMigrate`].
+    PinnedMigrate,
+}
+
+impl PolicyKind {
+    /// Every variant, in the order the comparison runs them.
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::RoundRobin,
+        PolicyKind::LeastLoaded,
+        PolicyKind::CoolestFirst,
+        PolicyKind::PinnedMigrate,
+    ];
+
+    /// Stable name, identical to the built policy's
+    /// [`RoutePolicy::name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::RoundRobin => "round-robin",
+            PolicyKind::LeastLoaded => "least-loaded",
+            PolicyKind::CoolestFirst => "coolest-first",
+            PolicyKind::PinnedMigrate => "pinned-migrate",
+        }
+    }
+
+    /// Parses a stable name back into the variant.
+    pub fn parse(name: &str) -> Option<PolicyKind> {
+        PolicyKind::ALL.into_iter().find(|kind| kind.name() == name)
+    }
+
+    /// Builds a fresh policy instance for a run over `config`.
+    pub fn build(self, config: &FleetConfig) -> Box<dyn RoutePolicy> {
+        match self {
+            PolicyKind::RoundRobin => Box::new(RoundRobin::default()),
+            PolicyKind::LeastLoaded => Box::new(LeastLoaded),
+            PolicyKind::CoolestFirst => Box::new(CoolestFirst),
+            PolicyKind::PinnedMigrate => Box::new(PinnedMigrate::new(
+                config.tenants,
+                config.machines,
+                config.migration_hysteresis_celsius,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view<'a>(
+        backlog: &'a [f64],
+        temps: &'a [f64],
+        tenant_demand: &'a [f64],
+    ) -> FleetView<'a> {
+        FleetView {
+            backlog_cpu_s: backlog,
+            temps_celsius: temps,
+            tenant_demand_cpu_s: tenant_demand,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut policy = RoundRobin::default();
+        let v = view(&[0.0; 3], &[0.0; 3], &[]);
+        let picks: Vec<usize> = (0..7).map(|_| policy.route(0, &v)).collect();
+        assert_eq!(picks, [0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn least_loaded_picks_min_backlog_lowest_index_on_ties() {
+        let mut policy = LeastLoaded;
+        assert_eq!(policy.route(0, &view(&[2.0, 0.5, 0.5], &[0.0; 3], &[])), 1);
+        assert_eq!(policy.route(0, &view(&[1.0, 1.0, 1.0], &[0.0; 3], &[])), 0);
+    }
+
+    #[test]
+    fn coolest_first_picks_min_temperature() {
+        let mut policy = CoolestFirst;
+        assert_eq!(policy.route(0, &view(&[0.0; 3], &[44.0, 39.5, 41.0], &[])), 1);
+    }
+
+    #[test]
+    fn pinned_migrate_moves_the_heaviest_tenant_off_the_hot_machine() {
+        // 4 tenants over 2 machines: tenants 0,2 home on machine 0;
+        // 1,3 on machine 1. Machine 0 runs hot; tenant 2 is heavier.
+        let mut policy = PinnedMigrate::new(4, 2, 1.0);
+        assert_eq!(policy.home_of(0), 0);
+        assert_eq!(policy.home_of(2), 0);
+        let demand = [1.0, 0.2, 5.0, 0.1];
+        policy.end_epoch(&view(&[0.0; 2], &[50.0, 40.0], &demand));
+        assert_eq!(policy.migrations(), 1);
+        assert_eq!(policy.home_of(2), 1, "heaviest hot tenant moved to the coolest");
+        assert_eq!(policy.home_of(0), 0, "lighter tenant stays");
+
+        // Inside hysteresis: nothing moves.
+        policy.end_epoch(&view(&[0.0; 2], &[40.4, 40.0], &demand));
+        assert_eq!(policy.migrations(), 1);
+    }
+
+    #[test]
+    fn kind_names_round_trip_and_match_built_policies() {
+        let config = FleetConfig::rack_scale(4, 9);
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.build(&config).name(), kind.name());
+        }
+        assert_eq!(PolicyKind::parse("nope"), None);
+    }
+}

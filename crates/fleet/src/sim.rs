@@ -1,0 +1,520 @@
+//! The fleet arena: hundreds of machines, one epoch loop.
+//!
+//! A [`Fleet`] owns every per-machine quantity as a parallel vector
+//! (struct-of-arrays beside the machine arena): backlog, injection
+//! proportion, last-epoch temperature, rack membership. The epoch loop
+//! touches each vector in one linear pass, so a 1 000-machine fleet walks
+//! cache lines, not pointer chains.
+//!
+//! One control epoch, in order:
+//!
+//! 1. the whole epoch's arrivals are drawn from the fleet RNG *before*
+//!    any routing decision, so the offered load is a pure function of
+//!    [`FleetConfig::seed`] and every policy faces the same stream;
+//! 2. each request is routed through the policy and scored by the fluid
+//!    FIFO model: latency = (queued CPU-seconds + own demand) ÷ the
+//!    machine's drain rate, recorded into its rack's [`QosStats`];
+//! 3. every machine serves as much backlog as its capacity allows, its
+//!    cores run at the implied activity, and the full thermal/power
+//!    model advances one epoch;
+//! 4. each machine's integral controller converts temperature error into
+//!    next epoch's idle-injection proportion;
+//! 5. racks recirculate: each machine's inlet for the next epoch is the
+//!    room temperature plus the rack's rejected heat times the
+//!    recirculation coefficient, applied in fixed machine order.
+//!
+//! Injection couples into the fluid model twice, both times as the paper's
+//! mechanism would: it shrinks the drain rate (queued work waits longer)
+//! and it caps the busy fraction (cores spend the injected quanta idle, so
+//! power and temperature fall).
+
+use dimetrodon_machine::{CoreId, Machine};
+use dimetrodon_power::CoreState;
+use dimetrodon_sim_core::{sim_invariant, SimDuration, SimRng};
+use dimetrodon_workload::{QosStats, WebConfig};
+
+use crate::config::FleetConfig;
+use crate::policy::{FleetView, RoutePolicy};
+
+/// Ceiling on the per-machine injection proportion: above this the paper's
+/// own data says voltage/frequency scaling dominates, and the fluid queue
+/// keeps a guaranteed 25 % drain rate so latencies stay finite.
+pub const MAX_INJECT_P: f64 = 0.75;
+
+/// Per-tenant demand weights span this log-uniform range, so a few tenants
+/// are genuinely hot — the migration policy needs someone worth moving.
+const TENANT_WEIGHT_RANGE: (f64, f64) = (0.25, 4.0);
+
+/// What one rack experienced over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RackReport {
+    /// Rack index.
+    pub rack: usize,
+    /// Machines in this rack (the last rack may be partial).
+    pub machines: usize,
+    /// Peak per-machine mean sensor temperature seen in the rack, °C.
+    pub peak_celsius: f64,
+    /// RMS of per-machine mean sensor temperature over machines × epochs,
+    /// °C.
+    pub rms_celsius: f64,
+    /// Reactive thermal-trip latches summed over the rack's machines.
+    pub trips: u64,
+    /// Requests the router sent to this rack.
+    pub requests: u64,
+    /// Fraction of the rack's requests meeting the "good" threshold.
+    pub good_fraction: f64,
+    /// Nearest-rank p99 response latency, seconds; `None` when the rack
+    /// served no requests.
+    pub p99_latency_s: Option<f64>,
+}
+
+/// The fleet arena. Cloning a fleet mid-run forks the whole simulation —
+/// every machine, queue, QoS accumulator, and the RNG stream — so a clone
+/// stepped with an equivalent policy stays bit-identical to the original.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    config: FleetConfig,
+    /// QoS scoring view derived from `config`.
+    web: WebConfig,
+    /// The machine arena; index is machine id everywhere below.
+    machines: Vec<Machine>,
+    /// Rack of each machine.
+    rack_of: Vec<usize>,
+    /// Queued CPU-seconds per machine.
+    backlog_cpu_s: Vec<f64>,
+    /// Idle-injection proportion each machine's controller holds.
+    inject_p: Vec<f64>,
+    /// Mean sensor temperature per machine at the end of the last epoch.
+    temps_celsius: Vec<f64>,
+    /// Per-tenant demand multiplier, drawn once at construction.
+    tenant_weight: Vec<f64>,
+    /// Cumulative routed CPU-seconds per tenant.
+    tenant_demand_cpu_s: Vec<f64>,
+    /// Per-rack QoS accumulators.
+    rack_qos: Vec<QosStats>,
+    /// Per-rack peak machine temperature so far.
+    rack_peak_celsius: Vec<f64>,
+    /// Per-rack running sum of squared machine temperatures.
+    rack_temp_sq_sum: Vec<f64>,
+    /// Per-rack count of (machine, epoch) temperature samples.
+    rack_temp_samples: Vec<u64>,
+    /// The fleet RNG: tenant weights, arrivals, demands.
+    rng: SimRng,
+    /// Epochs executed so far.
+    epochs_run: u64,
+}
+
+impl Fleet {
+    /// Builds the fleet: identical machines settled to their idle
+    /// equilibrium, empty queues, controllers at zero injection, tenant
+    /// weights drawn from the config seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`FleetConfig::validate`] or its
+    /// machine config is rejected by [`Machine::new`].
+    pub fn new(config: FleetConfig) -> Fleet {
+        config.validate();
+        let mut rng = SimRng::new(config.seed);
+        let tenant_weight: Vec<f64> = (0..config.tenants)
+            .map(|_| rng.log_uniform(TENANT_WEIGHT_RANGE.0, TENANT_WEIGHT_RANGE.1))
+            .collect();
+        // One machine is built and settled, then cloned: every machine is
+        // identical, and settling is the constructor's dominant cost.
+        let prototype = {
+            let built = Machine::new(config.machine.clone());
+            // simlint::allow(R1): a rejected machine config is a caller
+            // bug surfaced at construction, same contract as validate().
+            let mut machine = built.expect("fleet machine config is valid");
+            machine.settle_idle();
+            machine
+        };
+        let machines: Vec<Machine> = (0..config.machines).map(|_| prototype.clone()).collect();
+        let temps_celsius: Vec<f64> = machines
+            .iter()
+            .map(Machine::mean_sensor_temperature)
+            .collect();
+        let rack_of: Vec<usize> = (0..config.machines)
+            .map(|m| m / config.machines_per_rack)
+            .collect();
+        let racks = config.racks();
+        let mut rack_peak_celsius = vec![f64::NEG_INFINITY; racks];
+        for (machine, &temp) in temps_celsius.iter().enumerate() {
+            let rack = rack_of[machine];
+            rack_peak_celsius[rack] = rack_peak_celsius[rack].max(temp);
+        }
+        let web = config.web();
+        Fleet {
+            machines,
+            rack_of,
+            backlog_cpu_s: vec![0.0; config.machines],
+            inject_p: vec![0.0; config.machines],
+            temps_celsius,
+            tenant_weight,
+            tenant_demand_cpu_s: vec![0.0; config.tenants],
+            rack_qos: vec![QosStats::default(); racks],
+            rack_peak_celsius,
+            rack_temp_sq_sum: vec![0.0; racks],
+            rack_temp_samples: vec![0; racks],
+            rng,
+            epochs_run: 0,
+            web,
+            config,
+        }
+    }
+
+    /// The configuration the fleet was built from.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Epochs executed so far.
+    pub fn epochs_run(&self) -> u64 {
+        self.epochs_run
+    }
+
+    /// Mean sensor temperature per machine at the end of the last epoch.
+    pub fn temps_celsius(&self) -> &[f64] {
+        &self.temps_celsius
+    }
+
+    /// Queued CPU-seconds per machine.
+    pub fn backlog_cpu_s(&self) -> &[f64] {
+        &self.backlog_cpu_s
+    }
+
+    /// Idle-injection proportion per machine.
+    pub fn inject_p(&self) -> &[f64] {
+        &self.inject_p
+    }
+
+    /// The routing view of the current fleet state.
+    fn view(&self) -> FleetView<'_> {
+        FleetView {
+            backlog_cpu_s: &self.backlog_cpu_s,
+            temps_celsius: &self.temps_celsius,
+            tenant_demand_cpu_s: &self.tenant_demand_cpu_s,
+        }
+    }
+
+    /// CPU-seconds of queue machine `m` drains per second right now:
+    /// cores × throttle/trip speed × the controller's non-injected share.
+    fn drain_rate(&self, machine: usize) -> f64 {
+        let m = &self.machines[machine];
+        m.num_cores() as f64 * m.relative_speed() * (1.0 - self.inject_p[machine])
+    }
+
+    /// Runs one control epoch under `policy`.
+    pub fn step(&mut self, policy: &mut dyn RoutePolicy) {
+        let epoch_secs = self.config.epoch.as_secs_f64();
+        let mean_cpu_s = self.config.mean_service_cpu.as_secs_f64();
+
+        // 1. Offered load: drawn in full before the policy sees anything,
+        // so the stream is identical across policies and the RNG never
+        // observes a routing decision.
+        let arrivals: Vec<(usize, f64)> = (0..self.config.requests_per_epoch)
+            .map(|_| {
+                let tenant = self.rng.index(self.config.tenants);
+                let demand = self.rng.exponential(mean_cpu_s * self.tenant_weight[tenant]);
+                (tenant, demand)
+            })
+            .collect();
+
+        // Drain rates are an epoch-start quantity: routing inside the
+        // epoch sees a consistent fleet, not one mid-update.
+        let rates: Vec<f64> = (0..self.machines.len()).map(|m| self.drain_rate(m)).collect();
+
+        // 2. Route and score each request in arrival order. Backlog grows
+        // as requests land, so load-aware policies spread a burst.
+        for (tenant, demand) in arrivals {
+            let machine = policy.route(tenant, &self.view());
+            assert!(
+                machine < self.machines.len(),
+                "policy {} routed to machine {machine} of {}",
+                policy.name(),
+                self.machines.len()
+            );
+            let latency_s = (self.backlog_cpu_s[machine] + demand) / rates[machine];
+            self.rack_qos[self.rack_of[machine]]
+                .record(SimDuration::from_secs_f64(latency_s), &self.web);
+            self.backlog_cpu_s[machine] += demand;
+            self.tenant_demand_cpu_s[tenant] += demand;
+        }
+
+        // 3–4. Serve, heat, control — one linear pass over the arena.
+        for (machine, &rate) in rates.iter().enumerate() {
+            let capacity_cpu_s = rate * epoch_secs;
+            let served = self.backlog_cpu_s[machine].min(capacity_cpu_s);
+            self.backlog_cpu_s[machine] -= served;
+            sim_invariant!(
+                self.backlog_cpu_s[machine] >= 0.0 && self.backlog_cpu_s[machine].is_finite(),
+                "machine {machine} backlog must stay finite and non-negative, got {}",
+                self.backlog_cpu_s[machine]
+            );
+            let m = &mut self.machines[machine];
+            // Busy share of raw core-time: injected quanta are already
+            // excluded because capacity carries the (1 − p) factor.
+            let busy = served / (m.num_cores() as f64 * epoch_secs);
+            let activity = self.config.service_activity * busy;
+            for core in 0..m.num_cores() {
+                if served > 0.0 {
+                    m.set_core_state(CoreId(core), CoreState::active(activity));
+                } else {
+                    m.set_core_idle(CoreId(core));
+                }
+            }
+            m.advance(self.config.epoch);
+
+            let temp = m.mean_sensor_temperature();
+            self.temps_celsius[machine] = temp;
+            let rack = self.rack_of[machine];
+            self.rack_peak_celsius[rack] = self.rack_peak_celsius[rack].max(temp);
+            self.rack_temp_sq_sum[rack] += temp * temp;
+            self.rack_temp_samples[rack] += 1;
+
+            // The Dimetrodon-style preventive loop: integrate temperature
+            // error into the injection proportion, clamped so the queue
+            // never loses its guaranteed drain rate (anti-windup).
+            let error = temp - self.config.setpoint_celsius;
+            self.inject_p[machine] = (self.inject_p[machine]
+                + self.config.gain_per_celsius_second * error * epoch_secs)
+                .clamp(0.0, MAX_INJECT_P);
+        }
+
+        // 5. Rack recirculation, in fixed machine order: next epoch's
+        // inlet is the room plus the rack's rejected heat.
+        let racks = self.config.racks();
+        let mut rack_heat_w = vec![0.0; racks];
+        for machine in 0..self.machines.len() {
+            rack_heat_w[self.rack_of[machine]] += self.machines[machine].heat_to_inlet();
+        }
+        for machine in 0..self.machines.len() {
+            let inlet = self.config.room_celsius
+                + self.config.recirc_celsius_per_watt * rack_heat_w[self.rack_of[machine]];
+            self.machines[machine].set_inlet_celsius(inlet);
+        }
+
+        policy.end_epoch(&self.view());
+        self.epochs_run += 1;
+    }
+
+    /// Runs every whole epoch of the configured duration.
+    pub fn run(&mut self, policy: &mut dyn RoutePolicy) {
+        for _ in 0..self.config.epochs() {
+            self.step(policy);
+        }
+    }
+
+    /// Per-rack outcome of the run so far.
+    pub fn reports(&self) -> Vec<RackReport> {
+        (0..self.config.racks())
+            .map(|rack| {
+                let machines = self
+                    .rack_of
+                    .iter()
+                    .filter(|&&r| r == rack)
+                    .count();
+                let qos = &self.rack_qos[rack];
+                let samples = self.rack_temp_samples[rack];
+                let rms_celsius = if samples > 0 {
+                    (self.rack_temp_sq_sum[rack] / samples as f64).sqrt()
+                } else {
+                    // No epochs yet: report the settled starting point.
+                    self.rack_peak_celsius[rack]
+                };
+                RackReport {
+                    rack,
+                    machines,
+                    peak_celsius: self.rack_peak_celsius[rack],
+                    rms_celsius,
+                    trips: self
+                        .machines
+                        .iter()
+                        .zip(&self.rack_of)
+                        .filter(|(_, &r)| r == rack)
+                        .map(|(m, _)| m.trip_count())
+                        .sum(),
+                    requests: qos.total(),
+                    good_fraction: qos.good_fraction(),
+                    p99_latency_s: qos.latency_percentile(99.0),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Builds a fleet from `config`, runs the full duration under `policy`,
+/// and returns the per-rack reports.
+pub fn run_fleet(config: &FleetConfig, policy: &mut dyn RoutePolicy) -> Vec<RackReport> {
+    let mut fleet = Fleet::new(config.clone());
+    fleet.run(policy);
+    fleet.reports()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{CoolestFirst, LeastLoaded, PinnedMigrate, RoundRobin};
+
+    fn small_config(seed: u64) -> FleetConfig {
+        let mut config = FleetConfig::rack_scale(8, seed);
+        config.machines_per_rack = 4;
+        config.duration = SimDuration::from_secs(20);
+        config
+    }
+
+    fn report_bits(reports: &[RackReport]) -> Vec<u64> {
+        reports
+            .iter()
+            .flat_map(|r| {
+                [
+                    r.rack as u64,
+                    r.machines as u64,
+                    r.peak_celsius.to_bits(),
+                    r.rms_celsius.to_bits(),
+                    r.trips,
+                    r.requests,
+                    r.good_fraction.to_bits(),
+                    r.p99_latency_s.map_or(u64::MAX, f64::to_bits),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn same_seed_same_policy_is_bit_identical() {
+        let config = small_config(7);
+        let a = run_fleet(&config, &mut RoundRobin::default());
+        let b = run_fleet(&config, &mut RoundRobin::default());
+        assert_eq!(report_bits(&a), report_bits(&b));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = run_fleet(&small_config(1), &mut RoundRobin::default());
+        let b = run_fleet(&small_config(2), &mut RoundRobin::default());
+        assert_ne!(report_bits(&a), report_bits(&b));
+    }
+
+    #[test]
+    fn every_policy_faces_the_same_offered_load() {
+        // The arrival stream is drawn before routing, so total routed
+        // demand is policy-independent bit for bit.
+        let config = small_config(5);
+        let total = |policy: &mut dyn RoutePolicy| {
+            let mut fleet = Fleet::new(config.clone());
+            fleet.run(policy);
+            fleet
+                .tenant_demand_cpu_s
+                .iter()
+                .fold(0.0f64, |acc, d| acc + d)
+                .to_bits()
+        };
+        let rr = total(&mut RoundRobin::default());
+        let ll = total(&mut LeastLoaded);
+        let cf = total(&mut CoolestFirst);
+        assert_eq!(rr, ll);
+        assert_eq!(rr, cf);
+    }
+
+    #[test]
+    fn a_cloned_fleet_continues_bit_identically() {
+        // Clone is the fleet's fork: stepping original and clone with
+        // equivalent policies must agree bit for bit.
+        let config = small_config(3);
+        let mut original = Fleet::new(config);
+        let mut policy_a = RoundRobin::default();
+        for _ in 0..5 {
+            original.step(&mut policy_a);
+        }
+        let mut forked = original.clone();
+        let mut policy_b = policy_a.clone();
+        for _ in 0..5 {
+            original.step(&mut policy_a);
+            forked.step(&mut policy_b);
+        }
+        assert_eq!(
+            report_bits(&original.reports()),
+            report_bits(&forked.reports())
+        );
+        assert_eq!(
+            original.temps_celsius[0].to_bits(),
+            forked.temps_celsius[0].to_bits()
+        );
+    }
+
+    #[test]
+    fn controllers_engage_under_load_and_stay_off_when_cool() {
+        let mut hot = small_config(11);
+        hot.setpoint_celsius = 1.0; // every machine is above this
+        let mut fleet = Fleet::new(hot);
+        let mut policy = RoundRobin::default();
+        for _ in 0..10 {
+            fleet.step(&mut policy);
+        }
+        assert!(
+            fleet.inject_p.iter().all(|&p| p > 0.0),
+            "a 1 °C setpoint must drive injection on every machine"
+        );
+        assert!(fleet.inject_p.iter().all(|&p| p <= MAX_INJECT_P));
+
+        let mut cool = small_config(11);
+        cool.setpoint_celsius = 500.0; // unreachable
+        let mut fleet = Fleet::new(cool);
+        for _ in 0..10 {
+            fleet.step(&mut policy);
+        }
+        assert!(
+            fleet.inject_p.iter().all(|&p| p <= 0.0),
+            "an unreachable setpoint must never inject"
+        );
+    }
+
+    #[test]
+    fn loaded_racks_run_their_inlets_above_the_room() {
+        let config = small_config(13);
+        let room = config.room_celsius;
+        let mut fleet = Fleet::new(config);
+        let mut policy = RoundRobin::default();
+        for _ in 0..5 {
+            fleet.step(&mut policy);
+        }
+        assert!(
+            fleet
+                .machines
+                .iter()
+                .all(|m| m.inlet_celsius() > room),
+            "recirculated heat must lift every loaded inlet above the room"
+        );
+    }
+
+    #[test]
+    fn reports_cover_every_rack_and_count_partial_ones() {
+        let mut config = small_config(17);
+        config.machines = 10; // 4 + 4 + 2 at 4 per rack
+        config.tenants = 40;
+        config.requests_per_epoch = 300;
+        let reports = run_fleet(&config, &mut LeastLoaded);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[2].machines, 2, "last rack is partial");
+        let routed: u64 = reports.iter().map(|r| r.requests).sum();
+        assert_eq!(routed, 300 * config.epochs(), "every request lands in some rack");
+        for report in &reports {
+            assert!(report.peak_celsius.is_finite());
+            assert!(report.rms_celsius.is_finite());
+            assert!(report.p99_latency_s.is_some(), "every rack served traffic");
+        }
+    }
+
+    #[test]
+    fn migration_policy_actually_migrates_under_skewed_load() {
+        let mut config = small_config(19);
+        config.migration_hysteresis_celsius = 0.05;
+        let mut policy = PinnedMigrate::new(config.tenants, config.machines, 0.05);
+        let _ = run_fleet(&config, &mut policy);
+        assert!(
+            policy.migrations() > 0,
+            "skewed tenant weights plus a tight hysteresis must trigger migration"
+        );
+    }
+}

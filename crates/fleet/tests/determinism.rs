@@ -1,0 +1,156 @@
+//! Fleet determinism contract: a fleet comparison is a pure function of
+//! its [`FleetConfig`] — worker count, the harness snapshot cache, and
+//! journal-based resume (including resume from a torn journal tail) must
+//! all be invisible in the output, byte for byte.
+
+use std::fs;
+use std::io::Write as _;
+
+use dimetrodon_fleet::{
+    fleet_comparison_with, fleet_table, journal_path, FleetConfig, FleetJournal, PolicyKind,
+};
+use dimetrodon_harness::snapshot;
+use dimetrodon_sim_core::SimDuration;
+
+/// The suite's reference fleet: 64 machines (four racks), shortened to
+/// 15 control epochs so the whole file runs in seconds.
+fn suite_config() -> FleetConfig {
+    let mut config = FleetConfig::rack_scale(64, 9001);
+    config.duration = SimDuration::from_secs(15);
+    config
+}
+
+/// The canonical serialization compared across every axis below.
+fn comparison_csv(workers: usize, journal: Option<&FleetJournal>) -> String {
+    let config = suite_config();
+    let outcomes = fleet_comparison_with(workers, &config, journal);
+    fleet_table(&outcomes).render_csv()
+}
+
+#[test]
+fn worker_count_is_invisible_in_the_output() {
+    let reference = comparison_csv(1, None);
+    assert!(reference.contains("round-robin"), "sanity: CSV has rows");
+    for workers in [2, 3, 7] {
+        assert_eq!(
+            comparison_csv(workers, None),
+            reference,
+            "fleet CSV must be bit-identical at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn snapshot_cache_state_is_invisible_in_the_output() {
+    // The cache toggle is process-global; run both arms back to back and
+    // restore the entry state whatever it was.
+    let was_enabled = snapshot::enabled();
+    snapshot::set_enabled(true);
+    let with_cache = comparison_csv(2, None);
+    snapshot::set_enabled(false);
+    let without_cache = comparison_csv(2, None);
+    snapshot::set_enabled(was_enabled);
+    assert_eq!(
+        with_cache, without_cache,
+        "fleet CSV must not depend on the snapshot cache"
+    );
+}
+
+#[test]
+fn resume_after_a_torn_tail_is_byte_identical() {
+    let config = suite_config();
+    let dir = std::env::temp_dir().join(format!(
+        "fleet-determinism-{}-{:016x}",
+        std::process::id(),
+        config.fingerprint()
+    ));
+    fs::create_dir_all(&dir).expect("create journal dir");
+
+    // Fresh run, journaling every variant as it completes.
+    let journal = FleetJournal::open(&dir, config.fingerprint(), false);
+    assert_eq!(journal.replayed_count(), 0, "fresh journal replays nothing");
+    let reference = comparison_csv(1, Some(&journal));
+    let journal_path = journal.path().to_path_buf();
+    drop(journal);
+
+    let full = fs::read_to_string(&journal_path).expect("read journal");
+    let lines: Vec<&str> = full.lines().collect();
+    assert_eq!(
+        lines.len(),
+        1 + PolicyKind::ALL.len(),
+        "journal holds a header plus one line per policy"
+    );
+
+    // A mid-run SIGKILL leaves a prefix of whole lines plus, in the worst
+    // case, a torn partial line. Reproduce exactly that shape: keep the
+    // header and the first two variants, then append half of the third
+    // line with no trailing newline.
+    let torn = format!(
+        "{}\n{}\n{}\n{}",
+        lines[0],
+        lines[1],
+        lines[2],
+        &lines[3][..lines[3].len() / 2]
+    );
+    fs::write(&journal_path, &torn).expect("write torn journal");
+
+    let resumed = FleetJournal::open(&dir, config.fingerprint(), true);
+    assert_eq!(
+        resumed.replayed_count(),
+        2,
+        "the torn line must be rejected, the whole lines replayed"
+    );
+    let after_resume = comparison_csv(1, Some(&resumed));
+    assert_eq!(
+        after_resume, reference,
+        "resume after a torn tail must reproduce the run byte for byte"
+    );
+
+    // The resumed run healed the journal: a second resume replays all
+    // four variants and recomputes nothing.
+    drop(resumed);
+    let healed = FleetJournal::open(&dir, config.fingerprint(), true);
+    assert_eq!(healed.replayed_count(), PolicyKind::ALL.len());
+    assert_eq!(comparison_csv(3, Some(&healed)), reference);
+
+    fs::remove_dir_all(&dir).expect("remove journal dir");
+}
+
+#[test]
+fn a_journal_for_a_different_config_is_never_replayed() {
+    let config = suite_config();
+    let mut other = suite_config();
+    other.seed ^= 1;
+    assert_ne!(config.fingerprint(), other.fingerprint());
+
+    let dir = std::env::temp_dir().join(format!(
+        "fleet-determinism-xseed-{}",
+        std::process::id()
+    ));
+    fs::create_dir_all(&dir).expect("create journal dir");
+
+    // Populate a journal for `other`, then open `config`'s journal in the
+    // same directory: the fingerprinted filename keeps them apart.
+    let other_journal = FleetJournal::open(&dir, other.fingerprint(), false);
+    let outcomes = fleet_comparison_with(1, &other, Some(&other_journal));
+    assert_eq!(outcomes.len(), PolicyKind::ALL.len());
+    drop(other_journal);
+
+    let mine = FleetJournal::open(&dir, config.fingerprint(), true);
+    assert_eq!(mine.replayed_count(), 0, "a different config must not replay");
+    drop(mine);
+
+    // Garbage appended after valid lines is skipped without poisoning the
+    // valid prefix.
+    let path = journal_path(&dir, other.fingerprint());
+    let mut file = fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .expect("open journal for append");
+    writeln!(file, "variant not-a-number bogus").expect("append garbage");
+    drop(file);
+    let reopened = FleetJournal::open(&dir, other.fingerprint(), true);
+    assert_eq!(reopened.replayed_count(), PolicyKind::ALL.len());
+
+    fs::remove_dir_all(&dir).expect("remove journal dir");
+}

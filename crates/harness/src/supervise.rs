@@ -256,8 +256,9 @@ fn record_incident(incident: Incident) {
 // --- Fingerprints -------------------------------------------------------
 
 /// FNV-1a 64-bit over a byte slice: tiny, dependency-free, and stable
-/// across runs and platforms.
-pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+/// across runs and platforms. Public so downstream crates (the fleet
+/// journal) fingerprint with the same hash the sweep journal uses.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= b as u64;

@@ -782,6 +782,30 @@ impl Machine {
         probe.mean_sensor_temperature()
     }
 
+    /// Moves the machine's inlet-air (thermal boundary) temperature in °C.
+    ///
+    /// Defaults to the configured `ThermalSpec::ambient_celsius`; a rack
+    /// model moves it between steps to couple machines through their shared
+    /// inlet. Takes effect from the next [`advance`](Machine::advance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `celsius` is not finite.
+    pub fn set_inlet_celsius(&mut self, celsius: f64) {
+        self.network.set_boundary_celsius(celsius);
+    }
+
+    /// The current inlet-air (thermal boundary) temperature in °C.
+    pub fn inlet_celsius(&self) -> f64 {
+        self.network.boundary_celsius()
+    }
+
+    /// Net heat the machine is shedding into its inlet air right now, in
+    /// watts. The rack model sums this per rack to drive recirculation.
+    pub fn heat_to_inlet(&self) -> f64 {
+        self.network.heat_to_ambient()
+    }
+
     /// Captures the machine's mutable state for later
     /// [`restore`](Machine::restore).
     pub fn snapshot(&self) -> MachineSnapshot {
@@ -861,6 +885,39 @@ mod tests {
         let m = machine();
         assert!(m.core_ids().all(|c| !m.core_state(c).is_active()));
         assert!((m.core_temperature(CoreId(0)) - 25.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hotter_inlet_raises_the_whole_stack() {
+        let mut m = machine();
+        assert!((m.inlet_celsius() - 25.2).abs() < 1e-12);
+        let idle_at_room = m.idle_temperature();
+        m.set_inlet_celsius(35.2);
+        let idle_at_hot_aisle = m.idle_temperature();
+        // Linear network: a +10 C inlet lifts the settled stack ~+10 C.
+        let lift = idle_at_hot_aisle - idle_at_room;
+        assert!((9.0..11.0).contains(&lift), "inlet lift {lift} C");
+    }
+
+    #[test]
+    fn inlet_round_trips_through_machine_snapshot() {
+        let mut m = machine();
+        m.set_inlet_celsius(31.0);
+        all_active(&mut m);
+        m.advance(SimDuration::from_secs(5));
+        let snap = m.snapshot();
+        let reference = m.clone();
+        m.set_inlet_celsius(22.0);
+        m.advance(SimDuration::from_secs(5));
+        m.restore(&snap);
+        assert_eq!(m.inlet_celsius(), 31.0);
+        let mut replay = reference;
+        m.advance(SimDuration::from_secs(5));
+        replay.advance(SimDuration::from_secs(5));
+        assert_eq!(
+            m.mean_core_temperature().to_bits(),
+            replay.mean_core_temperature().to_bits()
+        );
     }
 
     #[test]

@@ -109,6 +109,7 @@ pub fn policy_for_crate(dir_name: &str) -> CratePolicy {
         "workload" => ("workload", LIB),
         "analysis" => ("analysis", LIB),
         "faults" => ("faults", LIB),
+        "fleet" => ("fleet", LIB),
         "harness" => ("harness", HARNESS),
         "cli" => ("cli", APP),
         "bench" => ("bench", BENCH),
@@ -124,6 +125,9 @@ pub fn policy_for_crate(dir_name: &str) -> CratePolicy {
         "power" => &["EnergyMeter", "PowerMeter"],
         "machine" => &["Machine", "MachineSnapshot"],
         "sched" => &["System", "SystemSnapshot"],
+        // The fleet's fork is its `Clone`: every mutable field must be
+        // deep-copied (or derive-covered) for a forked fleet to replay.
+        "fleet" => &["Fleet"],
         _ => &[],
     };
     CratePolicy {
@@ -176,6 +180,7 @@ mod tests {
         assert!(policy_for_crate("sim-core")
             .snapshot_types
             .contains(&"EventQueue"));
+        assert!(policy_for_crate("fleet").snapshot_types.contains(&"Fleet"));
         assert!(policy_for_crate("analysis").snapshot_types.is_empty());
     }
 
@@ -186,6 +191,7 @@ mod tests {
             "thermal",
             "machine",
             "sched",
+            "fleet",
             "harness",
             "cli",
             "bench",

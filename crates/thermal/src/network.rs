@@ -1,9 +1,12 @@
 //! The lumped RC thermal network and its integrator.
 //!
 //! A network is a set of thermal nodes — each with a heat capacity in J/K —
-//! joined by thermal conductances in W/K, plus conductances to a
-//! fixed-temperature ambient node. Power (heat) in watts is injected at
-//! nodes; temperatures evolve by
+//! joined by thermal conductances in W/K, plus conductances to a shared
+//! boundary (ambient) node. The boundary temperature defaults to the
+//! builder's ambient and can be moved between steps with
+//! [`ThermalNetwork::set_boundary_celsius`] — the hook a rack model uses to
+//! couple machines through their common inlet air. Power (heat) in watts is
+//! injected at nodes; temperatures evolve by
 //!
 //! ```text
 //! C_i dT_i/dt = P_i − Σ_j G_ij (T_i − T_j) − G_i,amb (T_i − T_amb)
@@ -374,6 +377,7 @@ impl ThermalNetworkBuilder {
             topo: Arc::new(topology),
             temperatures: vec![self.ambient_celsius; n],
             powers: vec![0.0; n],
+            boundary_celsius: self.ambient_celsius,
             scratch: vec![self.ambient_celsius; n],
             decay: vec![0.0; n],
             decay_dt_s: f64::NAN,
@@ -400,6 +404,10 @@ pub struct ThermalNetwork {
     pub(crate) topo: Arc<Topology>,
     temperatures: Vec<f64>,
     powers: Vec<f64>,
+    /// The boundary (ambient/inlet) node's temperature in °C. Starts at the
+    /// builder's ambient and may be moved between steps — the rack model's
+    /// coupling knob. Observable state: snapshotted, restored, compared.
+    boundary_celsius: f64,
     /// Integrator workspace: the previous substep's temperatures.
     // simlint::shared: scratch, fully overwritten before every use.
     scratch: Vec<f64>,
@@ -420,16 +428,19 @@ impl PartialEq for ThermalNetwork {
         (Arc::ptr_eq(&self.topo, &other.topo) || self.topo == other.topo)
             && self.temperatures == other.temperatures
             && self.powers == other.powers
+            && self.boundary_celsius.to_bits() == other.boundary_celsius.to_bits()
     }
 }
 
-/// A checkpoint of a [`ThermalNetwork`]'s observable state: temperatures
-/// and powers. Pair with [`ThermalNetwork::restore`] to rewind a network
-/// to a recorded instant without rebuilding its topology.
+/// A checkpoint of a [`ThermalNetwork`]'s observable state: temperatures,
+/// powers, and the boundary temperature. Pair with
+/// [`ThermalNetwork::restore`] to rewind a network to a recorded instant
+/// without rebuilding its topology.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThermalSnapshot {
     temperatures: Vec<f64>,
     powers: Vec<f64>,
+    boundary_celsius: f64,
 }
 
 impl ThermalNetwork {
@@ -452,9 +463,32 @@ impl ThermalNetwork {
         (0..self.topo.names.len()).map(NodeId)
     }
 
-    /// The fixed ambient temperature in °C.
+    /// The ambient temperature the network was built with, in °C — the
+    /// boundary temperature's initial value.
     pub fn ambient_celsius(&self) -> f64 {
         self.topo.ambient_celsius
+    }
+
+    /// The current boundary (ambient/inlet) temperature in °C.
+    ///
+    /// Equals [`ambient_celsius`](ThermalNetwork::ambient_celsius) unless
+    /// moved with [`set_boundary_celsius`](ThermalNetwork::set_boundary_celsius).
+    pub fn boundary_celsius(&self) -> f64 {
+        self.boundary_celsius
+    }
+
+    /// Moves the boundary (ambient/inlet) node to a new temperature in °C.
+    ///
+    /// Takes effect from the next `advance`; ambient conductances are
+    /// unchanged, only the temperature they pull toward moves. Setting the
+    /// built ambient back is bit-identical to never having called this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `celsius` is not finite.
+    pub fn set_boundary_celsius(&mut self, celsius: f64) {
+        assert!(celsius.is_finite(), "boundary temperature must be finite, got {celsius}");
+        self.boundary_celsius = celsius;
     }
 
     /// Current temperature of a node in °C.
@@ -498,11 +532,12 @@ impl ThermalNetwork {
         Arc::ptr_eq(&self.topo, &other.topo)
     }
 
-    /// Captures the observable state (temperatures and powers).
+    /// Captures the observable state (temperatures, powers, boundary).
     pub fn snapshot(&self) -> ThermalSnapshot {
         ThermalSnapshot {
             temperatures: self.temperatures.clone(),
             powers: self.powers.clone(),
+            boundary_celsius: self.boundary_celsius,
         }
     }
 
@@ -524,6 +559,7 @@ impl ThermalNetwork {
         );
         self.temperatures.copy_from_slice(&snapshot.temperatures);
         self.powers.copy_from_slice(&snapshot.powers);
+        self.boundary_celsius = snapshot.boundary_celsius;
     }
 
     /// Advances the network by `dt` under the currently set powers.
@@ -544,7 +580,7 @@ impl ThermalNetwork {
             self.temperatures
                 .iter()
                 .copied()
-                .fold(self.topo.ambient_celsius, f64::min)
+                .fold(self.boundary_celsius, f64::min)
                 - 1e-6
         } else {
             f64::NEG_INFINITY
@@ -588,12 +624,14 @@ impl ThermalNetwork {
         let old: &[f64] = &self.scratch;
         let new: &mut [f64] = &mut self.temperatures;
 
+        let boundary = self.boundary_celsius;
+
         #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-        if crate::simd::substep_vector(topo, old, &self.powers, decay, new) {
+        if crate::simd::substep_vector(topo, boundary, old, &self.powers, decay, new) {
             return;
         }
 
-        scalar_substep(topo, old, &self.powers, decay, new);
+        scalar_substep(topo, boundary, old, &self.powers, decay, new);
     }
 
     /// Total power currently injected across all nodes, in watts.
@@ -623,7 +661,7 @@ impl ThermalNetwork {
             .powers
             .iter()
             .zip(&topo.ambient_conductance)
-            .map(|(&p, &g)| p + g * topo.ambient_celsius)
+            .map(|(&p, &g)| p + g * self.boundary_celsius)
             .collect();
         topo.steady_matrix
             .solve(&rhs)
@@ -640,7 +678,8 @@ impl ThermalNetwork {
         self.temperatures = self.steady_state();
     }
 
-    /// Resets every node to ambient temperature and clears all powers.
+    /// Resets every node to the built ambient temperature, clears all
+    /// powers, and returns the boundary to the built ambient.
     pub fn reset(&mut self) {
         for t in &mut self.temperatures {
             *t = self.topo.ambient_celsius;
@@ -648,6 +687,7 @@ impl ThermalNetwork {
         for p in &mut self.powers {
             *p = 0.0;
         }
+        self.boundary_celsius = self.topo.ambient_celsius;
     }
 
     /// Overrides a node's temperature (for tests and checkpoint restore).
@@ -685,27 +725,28 @@ impl ThermalNetwork {
                     ..topo.row_offsets[i + 1] as usize)
                     .map(|k| topo.vals[k] * (temps[topo.cols[k] as usize] - temps[i]))
                     .sum();
-                let ambient = topo.ambient_conductance[i] * (topo.ambient_celsius - temps[i]);
+                let ambient = topo.ambient_conductance[i] * (self.boundary_celsius - temps[i]);
                 (self.powers[i] + neighbour + ambient) / topo.capacitances[i]
             })
             .collect()
     }
 
-    /// Net heat flow out of the network into ambient right now, in watts.
+    /// Net heat flow out of the network into the boundary right now, in
+    /// watts.
     pub fn heat_to_ambient(&self) -> f64 {
         self.temperatures
             .iter()
             .zip(&self.topo.ambient_conductance)
-            .map(|(&t, &g)| g * (t - self.topo.ambient_celsius))
+            .map(|(&t, &g)| g * (t - self.boundary_celsius))
             .sum()
     }
 
-    /// Total stored thermal energy relative to ambient, in joules.
+    /// Total stored thermal energy relative to the boundary, in joules.
     pub fn stored_energy(&self) -> f64 {
         self.temperatures
             .iter()
             .zip(&self.topo.capacitances)
-            .map(|(&t, &c)| c * (t - self.topo.ambient_celsius))
+            .map(|(&t, &c)| c * (t - self.boundary_celsius))
             .sum()
     }
 }
@@ -718,6 +759,7 @@ impl ThermalNetwork {
 /// the SIMD build's fallback/remainder paths.
 pub(crate) fn scalar_substep(
     topo: &Topology,
+    boundary: f64,
     old: &[f64],
     powers: &[f64],
     decay: &[f64],
@@ -729,8 +771,7 @@ pub(crate) fn scalar_substep(
         for k in topo.row_offsets[i] as usize..topo.row_offsets[i + 1] as usize {
             neighbour_heat += topo.vals[k] * old[topo.cols[k] as usize];
         }
-        let neighbour_heat =
-            neighbour_heat + topo.ambient_conductance[i] * topo.ambient_celsius;
+        let neighbour_heat = neighbour_heat + topo.ambient_conductance[i] * boundary;
         let t_eq = (powers[i] + neighbour_heat) / g_tot;
         *out = t_eq + (old[i] - t_eq) * decay[i];
     }
@@ -908,6 +949,79 @@ mod tests {
         net.reset();
         assert!(net.temperatures().iter().all(|&t| t == 25.0));
         assert_eq!(net.power(die), 0.0);
+    }
+
+    #[test]
+    fn boundary_moves_the_equilibrium() {
+        // Raising the boundary shifts every equilibrium up by the same
+        // amount in a linear network: T_ss = boundary + P/G.
+        let (mut net, die) = single_node();
+        net.set_power(die, 10.0);
+        net.set_boundary_celsius(35.0);
+        assert_eq!(net.boundary_celsius(), 35.0);
+        assert_eq!(net.ambient_celsius(), 25.0);
+        assert!((net.steady_state()[0] - 55.0).abs() < 1e-9); // 35 + 10/0.5
+        net.advance(SimDuration::from_secs(60));
+        assert!((net.temperature(die) - 55.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn boundary_at_built_ambient_is_bit_identical() {
+        // Setting the boundary to the value it already has must not change
+        // a single bit of the trajectory — the whole-repo determinism
+        // baseline depends on this.
+        let (reference, die) = single_node();
+        let mut touched = reference.clone();
+        let mut reference = reference;
+        reference.set_power(die, 10.0);
+        touched.set_power(die, 10.0);
+        touched.set_boundary_celsius(25.0);
+        for _ in 0..50 {
+            reference.advance(SimDuration::from_millis(73));
+            touched.advance(SimDuration::from_millis(73));
+        }
+        assert_eq!(
+            reference.temperature(die).to_bits(),
+            touched.temperature(die).to_bits()
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_the_boundary() {
+        let (mut net, die) = single_node();
+        net.set_power(die, 10.0);
+        net.set_boundary_celsius(31.5);
+        net.advance(SimDuration::from_secs(2));
+        let checkpoint = net.snapshot();
+        let at_checkpoint = net.clone();
+        net.set_boundary_celsius(18.0);
+        net.advance(SimDuration::from_secs(2));
+        assert_ne!(net, at_checkpoint);
+        net.restore(&checkpoint);
+        assert_eq!(net, at_checkpoint);
+        assert_eq!(net.boundary_celsius(), 31.5);
+        // Advancing after the restore follows the checkpointed boundary.
+        let mut replay = at_checkpoint;
+        replay.advance(SimDuration::from_secs(2));
+        net.advance(SimDuration::from_secs(2));
+        assert_eq!(net.temperature(die).to_bits(), replay.temperature(die).to_bits());
+    }
+
+    #[test]
+    fn reset_returns_the_boundary_to_built_ambient() {
+        let (mut net, die) = single_node();
+        net.set_power(die, 10.0);
+        net.set_boundary_celsius(40.0);
+        net.reset();
+        assert_eq!(net.boundary_celsius(), 25.0);
+        assert_eq!(net.temperature(die), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "boundary temperature must be finite")]
+    fn boundary_rejects_non_finite() {
+        let (mut net, _) = single_node();
+        net.set_boundary_celsius(f64::NAN);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub fn avx2_active() -> bool {
 /// (the integrator in `network.rs`) stay entirely safe code.
 pub(crate) fn substep_vector(
     topo: &Topology,
+    boundary: f64,
     old: &[f64],
     powers: &[f64],
     decay: &[f64],
@@ -57,7 +58,7 @@ pub(crate) fn substep_vector(
     // the only precondition of the target_feature kernel; all slices come
     // from the same network, so the topology's padded indices are in
     // bounds for `old`.
-    unsafe { substep_avx2(topo, old, powers, decay, new) };
+    unsafe { substep_avx2(topo, boundary, old, powers, decay, new) };
     true
 }
 
@@ -69,6 +70,7 @@ pub(crate) fn substep_vector(
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn substep_avx2(
     topo: &Topology,
+    boundary: f64,
     old: &[f64],
     powers: &[f64],
     decay: &[f64],
@@ -76,7 +78,7 @@ pub(crate) unsafe fn substep_avx2(
 ) {
     let n = new.len();
     let blocks = n / 4;
-    let amb = _mm256_set1_pd(topo.ambient_celsius);
+    let amb = _mm256_set1_pd(boundary);
     for b in 0..blocks {
         let i = b * 4;
         let mut acc = _mm256_set1_pd(0.0);
@@ -101,13 +103,14 @@ pub(crate) unsafe fn substep_avx2(
     // which is the identical sum.
     let tail = blocks * 4;
     if tail < n {
-        scalar_tail(topo, old, powers, decay, new, tail);
+        scalar_tail(topo, boundary, old, powers, decay, new, tail);
     }
 }
 
 /// Scalar kernel over nodes `start..n` (the sub-4 remainder of a block).
 fn scalar_tail(
     topo: &Topology,
+    boundary: f64,
     old: &[f64],
     powers: &[f64],
     decay: &[f64],
@@ -120,8 +123,7 @@ fn scalar_tail(
         for k in topo.row_offsets[i] as usize..topo.row_offsets[i + 1] as usize {
             neighbour_heat += topo.vals[k] * old[topo.cols[k] as usize];
         }
-        let neighbour_heat =
-            neighbour_heat + topo.ambient_conductance[i] * topo.ambient_celsius;
+        let neighbour_heat = neighbour_heat + topo.ambient_conductance[i] * boundary;
         let t_eq = (powers[i] + neighbour_heat) / g_tot;
         *out = t_eq + (old[i] - t_eq) * decay[i];
     }

@@ -87,7 +87,11 @@ pub struct QosStats {
 }
 
 impl QosStats {
-    fn record(&mut self, latency: SimDuration, config: &WebConfig) {
+    /// Records one completed request's latency, scoring it against the
+    /// configuration's good/tolerable thresholds. Public so external
+    /// request models (the fleet's cluster router) feed the same
+    /// accumulator the single-machine workload uses.
+    pub fn record(&mut self, latency: SimDuration, config: &WebConfig) {
         self.latencies.push(latency.as_secs_f64());
         if latency <= config.good_threshold {
             self.good += 1;
@@ -133,7 +137,11 @@ impl QosStats {
         Some(self.latencies.iter().sum::<f64>() / self.latencies.len() as f64)
     }
 
-    /// A latency percentile in `[0, 100]`, if any requests completed.
+    /// A latency percentile in `[0, 100]` by the nearest-rank convention
+    /// — the smallest recorded latency with at least `pct` percent of the
+    /// samples at or below it — if any requests completed. `pct = 0`
+    /// returns the minimum, `pct = 100` the maximum, and a single sample
+    /// answers every percentile.
     ///
     /// # Panics
     ///
@@ -145,8 +153,13 @@ impl QosStats {
         }
         let mut sorted = self.latencies.clone();
         sorted.sort_by(f64::total_cmp);
-        let idx = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-        Some(sorted[idx])
+        // rank = ceil(pct/100 · n) clamped to [1, n]. The previous
+        // interpolated-index rounding (`round(pct/100 · (n−1))`) answered
+        // with the wrong rank — p50 of two samples rounded up to the
+        // larger — and did not implement any standard convention.
+        let n = sorted.len();
+        let rank = ((pct / 100.0) * n as f64).ceil().max(1.0).min(n as f64) as usize;
+        Some(sorted[rank - 1])
     }
 }
 
@@ -315,6 +328,48 @@ mod tests {
         assert!((stats.latency_percentile(100.0).unwrap() - 0.1).abs() < 1e-9);
         let p50 = stats.latency_percentile(50.0).unwrap();
         assert!((0.04..=0.07).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn percentile_nearest_rank_exact_values() {
+        let c = config();
+        let mut stats = QosStats::default();
+        stats.record(SimDuration::from_millis(10), &c);
+        stats.record(SimDuration::from_millis(20), &c);
+        // Nearest rank: p50 of two samples is the *first* (rank ceil(1)),
+        // anything above 50 % needs the second.
+        let expect = |pct: f64, secs: f64| {
+            let got = stats.latency_percentile(pct).unwrap();
+            assert!((got - secs).abs() < 1e-12, "p{pct} = {got}, expected {secs}");
+        };
+        expect(0.0, 0.01);
+        expect(50.0, 0.01);
+        expect(50.1, 0.02);
+        expect(100.0, 0.02);
+    }
+
+    #[test]
+    fn percentile_on_single_sample_answers_every_pct() {
+        let c = config();
+        let mut stats = QosStats::default();
+        stats.record(SimDuration::from_millis(50), &c);
+        for pct in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            let got = stats.latency_percentile(pct).unwrap();
+            assert!((got - 0.05).abs() < 1e-12, "p{pct} = {got}");
+        }
+    }
+
+    #[test]
+    fn percentile_p99_of_100_samples_is_the_99th() {
+        let c = config();
+        let mut stats = QosStats::default();
+        for ms in 1..=100u64 {
+            stats.record(SimDuration::from_millis(ms), &c);
+        }
+        let p99 = stats.latency_percentile(99.0).unwrap();
+        assert!((p99 - 0.099).abs() < 1e-12, "p99 = {p99}");
+        let p1 = stats.latency_percentile(1.0).unwrap();
+        assert!((p1 - 0.001).abs() < 1e-12, "p1 = {p1}");
     }
 
     #[test]

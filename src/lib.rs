@@ -43,6 +43,7 @@
 pub use dimetrodon as policy;
 pub use dimetrodon_analysis as analysis;
 pub use dimetrodon_faults as faults;
+pub use dimetrodon_fleet as fleet;
 pub use dimetrodon_harness as harness;
 pub use dimetrodon_machine as machine;
 pub use dimetrodon_power as power;
