@@ -17,12 +17,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod availability;
 mod histogram;
 mod pareto;
 mod powerlaw;
 mod stats;
 mod table;
 
+pub use availability::Availability;
 pub use histogram::Histogram;
 pub use pareto::{frontier_cost_at, pareto_frontier, TradeoffPoint};
 pub use powerlaw::{fit_power_law, FitError, PowerLawFit};

@@ -6,14 +6,23 @@
 //! cargo run --release -p dimetrodon-bench --bin fleet            # 256 machines
 //! cargo run --release -p dimetrodon-bench --bin fleet -- --quick # 32 machines
 //! cargo run --release -p dimetrodon-bench --bin fleet -- --machines 1024 --jobs 4
+//! cargo run --release -p dimetrodon-bench --bin fleet -- --chaos-plan plan.txt
+//! cargo run --release -p dimetrodon-bench --bin fleet -- --chaos # failure sweep
 //! ```
 //!
-//! Like every sweep-shaped binary, output is bit-identical at every
-//! `--jobs` count, and a killed run resumes from its journal with
-//! `--resume` (disable journaling with `--no-journal`).
+//! `--chaos-plan FILE` injects a fleet fault plan (machine crashes, rack
+//! CRAC failures, controller wedges) into the standard comparison;
+//! `--chaos` instead sweeps synthetic failure intensity × routing policy
+//! and writes the availability table to `results/fleet_chaos.csv`. Like
+//! every sweep-shaped binary, output is bit-identical at every `--jobs`
+//! count, and a killed run resumes from its journal with `--resume`
+//! (disable journaling with `--no-journal`).
 
 use dimetrodon_bench::{apply_common_args, banner, quick_requested, results_dir, write_csv};
-use dimetrodon_fleet::{fleet_comparison, fleet_table, FleetConfig, FleetJournal};
+use dimetrodon_fleet::{
+    chaos_comparison, chaos_table, fleet_comparison, fleet_table, ChaosGrid, ChaosJournal,
+    FleetConfig, FleetJournal, DEFAULT_INTENSITIES, QUICK_INTENSITIES, RECOVERY_HYSTERESIS_EPOCHS,
+};
 
 fn main() -> std::process::ExitCode {
     banner(
@@ -46,6 +55,24 @@ fn main() -> std::process::ExitCode {
     if quick {
         config.duration = FleetConfig::quick(seed).duration;
     }
+    let chaos_sweep = args.iter().any(|a| a == "--chaos");
+    if let Some(pos) = args.iter().position(|a| a == "--chaos-plan") {
+        assert!(
+            !chaos_sweep,
+            "--chaos-plan and --chaos are mutually exclusive"
+        );
+        let path = args.get(pos + 1).expect("--chaos-plan requires a file path");
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("--chaos-plan: read {path}: {e}"));
+        config.chaos = text
+            .parse()
+            .unwrap_or_else(|e| panic!("--chaos-plan: {path}: {e}"));
+        println!(
+            "chaos plan: {} event(s) from {path}, on-crash {}",
+            config.chaos.events().len(),
+            config.chaos.on_crash().name()
+        );
+    }
     println!(
         "{} machines in {} racks, {} tenants, {} epochs per policy",
         config.machines,
@@ -54,10 +81,53 @@ fn main() -> std::process::ExitCode {
         config.epochs()
     );
 
-    let journal = if args.iter().any(|a| a == "--no-journal") {
+    let no_journal = args.iter().any(|a| a == "--no-journal");
+    let resume = args.iter().any(|a| a == "--resume");
+    if chaos_sweep {
+        let intensities = if quick {
+            QUICK_INTENSITIES.to_vec()
+        } else {
+            DEFAULT_INTENSITIES.to_vec()
+        };
+        println!(
+            "chaos sweep: {} failure intensities x {} routing policies (failover hysteresis {} epochs)",
+            intensities.len(),
+            dimetrodon_fleet::PolicyKind::ALL.len(),
+            RECOVERY_HYSTERESIS_EPOCHS
+        );
+        let grid = ChaosGrid::new(config, intensities);
+        let journal = if no_journal {
+            None
+        } else {
+            Some(ChaosJournal::open(
+                &results_dir().join(".journal"),
+                &grid,
+                resume,
+            ))
+        };
+        let outcomes = chaos_comparison(&grid, journal.as_ref());
+        let replayed = outcomes.iter().filter(|o| o.replayed).count();
+        if replayed > 0 {
+            println!("[resume: {replayed} chaos point(s) replayed from journal]");
+        }
+        let table = chaos_table(&outcomes);
+        println!("{}", table.render());
+        write_csv("fleet_chaos", &table);
+        let worst_shed = outcomes
+            .iter()
+            .map(|o| o.metrics.shed_fraction)
+            .fold(0.0f64, f64::max);
+        println!(
+            "\nWorst shed fraction {:.2}% across the grid; intensity 0 rows are the \
+             no-failure control.",
+            100.0 * worst_shed
+        );
+        return dimetrodon_bench::supervision_epilogue();
+    }
+
+    let journal = if no_journal {
         None
     } else {
-        let resume = args.iter().any(|a| a == "--resume");
         Some(FleetJournal::open(
             &results_dir().join(".journal"),
             config.fingerprint(),

@@ -101,6 +101,7 @@ pub fn supervisor_from_args(args: &[String]) -> SupervisorConfig {
         retries,
         journal_dir,
         resume: args.iter().any(|a| a == "--resume"),
+        backoff: true,
     }
 }
 

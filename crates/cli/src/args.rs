@@ -110,6 +110,9 @@ pub struct Options {
     /// Restrict a `--fleet` run to one routing policy (default: compare
     /// all of them).
     pub fleet_policy: Option<PolicyKind>,
+    /// Path of a fleet fault-plan file (`at <t>s machine <m>|rack <r>|all
+    /// crash|crac <s> <d>|wedge` lines) injected into a `--fleet` run.
+    pub chaos_plan_path: Option<String>,
 }
 
 impl Default for Options {
@@ -137,6 +140,7 @@ impl Default for Options {
             no_snapshot: false,
             fleet: None,
             fleet_policy: None,
+            chaos_plan_path: None,
         }
     }
 }
@@ -225,6 +229,10 @@ OPTIONS:
     --fleet-policy <p> restrict --fleet to one routing policy:
                        round-robin | least-loaded | coolest-first |
                        pinned-migrate          [default: compare all]
+    --chaos-plan <file> inject a fleet fault plan into a --fleet run
+                       (`at <t>s machine <m>|rack <r>|all crash |
+                       crac <scale> <delta> | wedge`, optionally
+                       `for <span>`; directive `on-crash drop|redistribute`)
     --help             print this text
 ";
 
@@ -457,6 +465,9 @@ impl Options {
                             expected: "round-robin | least-loaded | coolest-first | pinned-migrate",
                         })?);
                 }
+                "--chaos-plan" => {
+                    options.chaos_plan_path = Some(value_for("--chaos-plan")?);
+                }
                 "--help" | "-h" => return Err(ParseArgsError::HelpRequested),
                 other => return Err(ParseArgsError::UnknownFlag(other.to_string())),
             }
@@ -631,6 +642,21 @@ mod tests {
             Err(ParseArgsError::BadValue { flag: "--fleet-policy", .. })
         ));
         assert!(USAGE.contains("--fleet") && USAGE.contains("--fleet-policy"));
+    }
+
+    #[test]
+    fn chaos_plan_parses() {
+        let o = Options::parse(["--fleet", "8", "--chaos-plan", "chaos.txt"]).unwrap();
+        assert_eq!(o.chaos_plan_path.as_deref(), Some("chaos.txt"));
+        assert_eq!(
+            Options::parse(Vec::<String>::new()).unwrap().chaos_plan_path,
+            None
+        );
+        assert_eq!(
+            Options::parse(["--chaos-plan"]),
+            Err(ParseArgsError::MissingValue { flag: "--chaos-plan" })
+        );
+        assert!(USAGE.contains("--chaos-plan"));
     }
 
     #[test]

@@ -1,37 +1,126 @@
 //! The `--fleet` path: run the cluster comparison from the CLI.
 
+use dimetrodon_faults::FleetFaultPlan;
 use dimetrodon_fleet::{
-    fleet_comparison, fleet_table, run_fleet, FleetConfig, FleetOutcome, PolicyKind,
+    fleet_comparison, fleet_table, run_fleet, ChaosMetrics, Fleet, FleetConfig, FleetOutcome,
+    PolicyKind,
 };
 
 use crate::args::Options;
+use crate::report::ScenarioError;
 
 /// Builds the fleet configuration a `--fleet` run uses: the rack-scale
-/// preset at the requested machine count, with the CLI's duration and
-/// seed applied.
-pub fn fleet_config(options: &Options) -> FleetConfig {
+/// preset at the requested machine count, with the CLI's duration, seed,
+/// and (when `--chaos-plan` is passed) fleet fault plan applied.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::Chaos`] when the chaos-plan file is missing,
+/// malformed, or names machines/racks outside the fleet.
+pub fn fleet_config(options: &Options) -> Result<FleetConfig, ScenarioError> {
     let machines = options
         .fleet
         .expect("fleet_config is only called for --fleet runs");
     let mut config = FleetConfig::rack_scale(machines, options.seed);
     config.duration = options.duration;
-    config
+    if let Some(path) = options.chaos_plan_path.as_deref() {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ScenarioError::Chaos(format!("read {path}: {e}")))?;
+        let plan: FleetFaultPlan = text
+            .parse()
+            .map_err(|e| ScenarioError::Chaos(format!("{path}: {e}")))?;
+        if let Some(m) = plan.max_machine() {
+            if m >= config.machines {
+                return Err(ScenarioError::Chaos(format!(
+                    "{path}: machine {m} is outside the {}-machine fleet",
+                    config.machines
+                )));
+            }
+        }
+        if let Some(r) = plan.max_rack() {
+            if r >= config.racks() {
+                return Err(ScenarioError::Chaos(format!(
+                    "{path}: rack {r} is outside the {}-rack fleet",
+                    config.racks()
+                )));
+            }
+        }
+        config.chaos = plan;
+    }
+    Ok(config)
+}
+
+/// One availability summary line for a policy's chaos run.
+fn chaos_line(name: &str, metrics: &ChaosMetrics) -> String {
+    let ttr = if metrics.recoveries > 0 {
+        format!(
+            ", recovered {}x (mean {:.0} s, max {:.0} s)",
+            metrics.recoveries,
+            metrics.recovery_mean_s.unwrap_or(0.0),
+            metrics.recovery_max_s.unwrap_or(0.0)
+        )
+    } else {
+        String::new()
+    };
+    format!(
+        "  {name}: shed {:.2}% ({}/{} requests), capacity mean {:.3} min {:.3}, \
+         {} degraded epoch(s){ttr}",
+        100.0 * metrics.shed_fraction,
+        metrics.shed_requests,
+        metrics.arrived_requests,
+        metrics.capacity_mean,
+        metrics.capacity_min,
+        metrics.degraded_epochs,
+    )
 }
 
 /// Runs the fleet comparison (or a single `--fleet-policy` variant) and
-/// renders the per-rack table plus a one-line summary.
-pub fn run_fleet_scenario(options: &Options) -> String {
-    let config = fleet_config(options);
-    let outcomes: Vec<FleetOutcome> = match options.fleet_policy {
-        Some(kind) => {
-            let mut policy = kind.build(&config);
-            vec![FleetOutcome {
-                policy: kind,
-                reports: run_fleet(&config, policy.as_mut()),
-                replayed: false,
-            }]
+/// renders the per-rack table plus a one-line summary; chaos runs append
+/// an availability block per policy.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::Chaos`] when `--chaos-plan` names an
+/// unreadable or invalid plan.
+pub fn run_fleet_scenario(options: &Options) -> Result<String, ScenarioError> {
+    let config = fleet_config(options)?;
+    let kinds: Vec<PolicyKind> = match options.fleet_policy {
+        Some(kind) => vec![kind],
+        None => PolicyKind::ALL.to_vec(),
+    };
+    let mut chaos_lines = Vec::new();
+    let outcomes: Vec<FleetOutcome> = if config.chaos.is_empty() {
+        match options.fleet_policy {
+            Some(kind) => {
+                let mut policy = kind.build(&config);
+                vec![FleetOutcome {
+                    policy: kind,
+                    reports: run_fleet(&config, policy.as_mut()),
+                    replayed: false,
+                }]
+            }
+            None => fleet_comparison(&config, None),
         }
-        None => fleet_comparison(&config, None),
+    } else {
+        // Chaos runs drive the fleet directly so the availability metrics
+        // are in hand when the table is rendered.
+        kinds
+            .iter()
+            .map(|&kind| {
+                let mut policy = kind.build(&config);
+                let mut fleet = Fleet::new(config.clone());
+                fleet.run(policy.as_mut());
+                // A non-empty plan implies collection, so the metrics
+                // are always present.
+                let metrics = fleet.chaos_metrics().expect("chaos plan implies metrics");
+                chaos_lines.push(chaos_line(kind.name(), &metrics));
+                FleetOutcome {
+                    policy: kind,
+                    reports: fleet.reports(),
+                    replayed: false,
+                }
+            })
+            .collect()
     };
     let mut rendered = fleet_table(&outcomes).render();
     let trips: u64 = outcomes
@@ -50,7 +139,18 @@ pub fn run_fleet_scenario(options: &Options) -> String {
         peak,
         trips,
     ));
-    rendered
+    if !chaos_lines.is_empty() {
+        rendered.push_str(&format!(
+            "availability under chaos ({} event(s), on-crash {}):\n",
+            config.chaos.events().len(),
+            config.chaos.on_crash().name(),
+        ));
+        for line in &chaos_lines {
+            rendered.push_str(line);
+            rendered.push('\n');
+        }
+    }
+    Ok(rendered)
 }
 
 /// The policy set a `--fleet` run compares (for the report header).
@@ -72,31 +172,78 @@ mod tests {
         Options::parse(args).expect("valid fleet options")
     }
 
+    fn scratch_plan(name: &str, text: &str) -> String {
+        let dir = std::env::temp_dir().join("dimetrodon_cli_chaos");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
     #[test]
     fn config_honours_duration_seed_and_count() {
         let options = fleet_options(&["--seed", "77"]);
-        let config = fleet_config(&options);
+        let config = fleet_config(&options).unwrap();
         assert_eq!(config.machines, 4);
         assert_eq!(config.seed, 77);
         assert_eq!(config.duration, SimDuration::from_secs(5));
+        assert!(config.chaos.is_empty());
     }
 
     #[test]
     fn single_policy_run_renders_one_policy() {
         let options = fleet_options(&["--fleet-policy", "coolest-first"]);
         assert_eq!(compared_policies(&options), ["coolest-first"]);
-        let rendered = run_fleet_scenario(&options);
+        let rendered = run_fleet_scenario(&options).unwrap();
         assert!(rendered.contains("coolest-first"));
         assert!(!rendered.contains("round-robin"));
         assert!(rendered.contains("4 machines in 1 racks"));
+        assert!(!rendered.contains("availability under chaos"));
     }
 
     #[test]
     fn comparison_run_renders_every_policy() {
         let options = fleet_options(&[]);
-        let rendered = run_fleet_scenario(&options);
+        let rendered = run_fleet_scenario(&options).unwrap();
         for name in compared_policies(&options) {
             assert!(rendered.contains(name), "{name} missing from report");
         }
+    }
+
+    #[test]
+    fn chaos_plan_adds_the_availability_block() {
+        let path = scratch_plan("crash.plan", "at 1s machine 0 crash for 2s\n");
+        let options = fleet_options(&["--chaos-plan", &path]);
+        let config = fleet_config(&options).unwrap();
+        assert_eq!(config.chaos.events().len(), 1);
+        let rendered = run_fleet_scenario(&options).unwrap();
+        assert!(rendered.contains("availability under chaos (1 event(s)"));
+        for name in compared_policies(&options) {
+            assert!(
+                rendered.contains(&format!("  {name}: shed")),
+                "{name} missing an availability line"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_chaos_plans_error_cleanly() {
+        let options = fleet_options(&["--chaos-plan", "/definitely/not/here.plan"]);
+        assert!(matches!(
+            fleet_config(&options),
+            Err(ScenarioError::Chaos(_))
+        ));
+
+        let malformed = scratch_plan("bad.plan", "at 1s machine 0 explode\n");
+        let options = fleet_options(&["--chaos-plan", &malformed]);
+        assert!(matches!(
+            fleet_config(&options),
+            Err(ScenarioError::Chaos(_))
+        ));
+
+        let out_of_range = scratch_plan("far.plan", "at 1s machine 99 crash\n");
+        let options = fleet_options(&["--chaos-plan", &out_of_range]);
+        let err = fleet_config(&options).unwrap_err();
+        assert!(err.to_string().contains("outside"), "got: {err}");
     }
 }

@@ -41,8 +41,16 @@ fn main() -> ExitCode {
             options.duration,
             options.seed
         );
-        print!("{}", dimetrodon_cli::run_fleet_scenario(&options));
-        return ExitCode::SUCCESS;
+        return match dimetrodon_cli::run_fleet_scenario(&options) {
+            Ok(rendered) => {
+                print!("{rendered}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     println!(

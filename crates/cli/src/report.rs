@@ -61,6 +61,9 @@ pub enum ScenarioError {
     Profile(String),
     /// `--faults` was passed without a readable, valid fault plan.
     Faults(String),
+    /// `--chaos-plan` was passed without a readable, valid fleet fault
+    /// plan (or one that names machines/racks outside the fleet).
+    Chaos(String),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -69,6 +72,7 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::Machine(e) => write!(f, "{e}"),
             ScenarioError::Profile(reason) => write!(f, "profile: {reason}"),
             ScenarioError::Faults(reason) => write!(f, "faults: {reason}"),
+            ScenarioError::Chaos(reason) => write!(f, "chaos plan: {reason}"),
         }
     }
 }
@@ -286,6 +290,7 @@ pub fn supervisor_config(options: &Options) -> dimetrodon_harness::supervise::Su
         retries: options.retries,
         journal_dir: None,
         resume: false,
+        backoff: true,
     }
 }
 

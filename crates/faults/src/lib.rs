@@ -27,11 +27,15 @@
 
 #![warn(missing_docs)]
 
+mod fleet_plan;
 mod hook;
 mod plan;
 mod sensor;
 mod telemetry;
 
+pub use fleet_plan::{
+    CrashBacklog, FleetFaultEvent, FleetFaultKind, FleetFaultPlan, FleetTarget,
+};
 pub use hook::FaultyHook;
 pub use plan::{FaultEvent, FaultKind, FaultPlan, FaultTarget, PlanError};
 pub use sensor::{SensorModel, SensorSpec};

@@ -405,12 +405,12 @@ fn parse_event(code: &str) -> Result<FaultEvent, String> {
     Ok(FaultEvent { at, target, kind, duration })
 }
 
-fn parse_f64(tok: &str) -> Result<f64, String> {
+pub(crate) fn parse_f64(tok: &str) -> Result<f64, String> {
     tok.parse().map_err(|_| format!("bad number `{tok}`"))
 }
 
 /// Parses `10s`, `2500ms`, `40us`, `500ns`, or a bare number of seconds.
-fn parse_span(tok: &str) -> Result<SimDuration, String> {
+pub(crate) fn parse_span(tok: &str) -> Result<SimDuration, String> {
     let (digits, scale_ns) = if let Some(d) = tok.strip_suffix("ms") {
         (d, 1e6)
     } else if let Some(d) = tok.strip_suffix("us") {

@@ -1,5 +1,6 @@
 //! Fleet configuration and its explicit byte fingerprint.
 
+use dimetrodon_faults::FleetFaultPlan;
 use dimetrodon_harness::snapshot::machine_config_bytes;
 use dimetrodon_harness::supervise::fnv1a64;
 use dimetrodon_machine::{MachineConfig, ThermalTrip};
@@ -51,6 +52,13 @@ pub struct FleetConfig {
     pub migration_hysteresis_celsius: f64,
     /// Seed for the arrival stream and the tenant weight draw.
     pub seed: u64,
+    /// Scheduled cluster faults (crashes, CRAC degradation, wedged
+    /// controllers). The empty plan is the default and guarantees the
+    /// chaos layer is bit-for-bit invisible.
+    pub chaos: FleetFaultPlan,
+    /// Epochs a machine may miss heartbeats before the health model
+    /// advertises it down; the router's detection lag after a crash.
+    pub heartbeat_timeout_epochs: u64,
 }
 
 impl FleetConfig {
@@ -82,6 +90,8 @@ impl FleetConfig {
             recirc_celsius_per_watt: 0.01,
             migration_hysteresis_celsius: 1.5,
             seed,
+            chaos: FleetFaultPlan::new(),
+            heartbeat_timeout_epochs: 1,
         }
     }
 
@@ -155,6 +165,20 @@ impl FleetConfig {
                 && self.migration_hysteresis_celsius >= 0.0,
             "migration hysteresis must be finite and non-negative"
         );
+        if let Some(machine) = self.chaos.max_machine() {
+            assert!(
+                machine < self.machines,
+                "chaos plan names machine {machine} of a {}-machine fleet",
+                self.machines
+            );
+        }
+        if let Some(rack) = self.chaos.max_rack() {
+            assert!(
+                rack < self.racks(),
+                "chaos plan names rack {rack} of a {}-rack fleet",
+                self.racks()
+            );
+        }
     }
 
     /// The journal identity of this configuration: FNV-1a64 over an
@@ -182,6 +206,15 @@ impl FleetConfig {
         u64_field(self.recirc_celsius_per_watt.to_bits());
         u64_field(self.migration_hysteresis_celsius.to_bits());
         u64_field(self.seed);
+        // The chaos section only exists when a plan is scheduled: an empty
+        // plan must hash exactly like a pre-chaos config, so journals
+        // written before the chaos layer existed still resume.
+        if !self.chaos.is_empty() {
+            let plan = self.chaos.identity_bytes();
+            bytes.extend_from_slice(&(plan.len() as u64).to_le_bytes());
+            bytes.extend_from_slice(&plan);
+            bytes.extend_from_slice(&self.heartbeat_timeout_epochs.to_le_bytes());
+        }
         fnv1a64(&bytes)
     }
 }
@@ -214,6 +247,63 @@ mod tests {
         assert_ne!(base.fingerprint(), machine_changed.fingerprint());
 
         assert_eq!(base.fingerprint(), base.clone().fingerprint(), "clone is identity");
+    }
+
+    #[test]
+    fn chaos_plan_joins_the_fingerprint_only_when_non_empty() {
+        use dimetrodon_faults::{FleetFaultKind, FleetTarget};
+        use dimetrodon_sim_core::SimTime;
+
+        let base = FleetConfig::rack_scale(8, 1);
+        assert!(base.chaos.is_empty(), "presets default to no chaos");
+
+        let mut timeout_tuned = base.clone();
+        timeout_tuned.heartbeat_timeout_epochs = 5;
+        assert_eq!(
+            base.fingerprint(),
+            timeout_tuned.fingerprint(),
+            "with no plan the chaos knobs are inert and must not split journals"
+        );
+
+        let crash = |at| {
+            FleetFaultPlan::new().with(
+                SimTime::ZERO + SimDuration::from_secs(at),
+                FleetTarget::Machine(2),
+                FleetFaultKind::Crash,
+                None,
+            )
+        };
+        let mut chaotic = base.clone();
+        chaotic.chaos = crash(10);
+        assert_ne!(base.fingerprint(), chaotic.fingerprint(), "a plan is identity");
+
+        let mut shifted = base.clone();
+        shifted.chaos = crash(11);
+        assert_ne!(chaotic.fingerprint(), shifted.fingerprint());
+
+        let mut lagged = chaotic.clone();
+        lagged.heartbeat_timeout_epochs = 5;
+        assert_ne!(
+            chaotic.fingerprint(),
+            lagged.fingerprint(),
+            "with a plan the detection lag shapes results, so it is identity"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "chaos plan names machine")]
+    fn chaos_plan_out_of_range_machine_is_rejected() {
+        use dimetrodon_faults::{FleetFaultKind, FleetTarget};
+        use dimetrodon_sim_core::SimTime;
+
+        let mut config = FleetConfig::rack_scale(8, 1);
+        config.chaos = FleetFaultPlan::new().with(
+            SimTime::ZERO,
+            FleetTarget::Machine(8),
+            FleetFaultKind::Crash,
+            None,
+        );
+        config.validate();
     }
 
     #[test]

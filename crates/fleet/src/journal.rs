@@ -18,8 +18,9 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use crate::chaos::ChaosGrid;
 use crate::policy::PolicyKind;
-use crate::sim::RackReport;
+use crate::sim::{ChaosMetrics, RackReport};
 
 /// The journal file path for a fleet comparison inside `dir`.
 pub fn journal_path(dir: &Path, config_fingerprint: u64) -> PathBuf {
@@ -236,6 +237,228 @@ impl FleetJournal {
     }
 }
 
+/// The journal file path for a chaos sweep inside `dir`.
+pub fn chaos_journal_path(dir: &Path, grid_fingerprint: u64) -> PathBuf {
+    dir.join(format!("fleet-chaos-{grid_fingerprint:016x}.journal"))
+}
+
+/// Renders an optional metric as a full-width hex bit pattern or `-`.
+fn encode_opt_f64(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{:016x}", v.to_bits()),
+        None => "-".to_string(),
+    }
+}
+
+/// Parses [`encode_opt_f64`]'s rendering back.
+fn parse_opt_f64(token: &str) -> Option<Option<f64>> {
+    match token {
+        "-" => Some(None),
+        hex => Some(Some(parse_hex_f64(hex)?)),
+    }
+}
+
+/// Tokens one chaos entry carries after `chaos <index> <label>`; the
+/// fixed count is what rejects SIGKILL-torn prefixes.
+const CHAOS_METRIC_TOKENS: usize = 17;
+
+/// Serializes one completed chaos point as a single journal line (no
+/// trailing newline). Exposed for the journal property tests.
+///
+/// Format, whitespace-separated (labels never contain whitespace):
+///
+/// ```text
+/// chaos <index> <label> <17 metric tokens>
+/// ```
+///
+/// with counters as decimal, floats as full-width hex bit patterns, and
+/// absent measurements as `-`. The final token is a full-width float, so
+/// a line cut anywhere short of its true end never decodes.
+pub fn encode_chaos_entry(index: usize, label: &str, metrics: &ChaosMetrics) -> String {
+    let m = metrics;
+    format!(
+        "chaos {index} {label} {} {} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {} {} {} {} {} {} {} {} {:016x}",
+        m.arrived_requests,
+        m.shed_requests,
+        m.shed_fraction.to_bits(),
+        m.arrived_cpu_s.to_bits(),
+        m.served_cpu_s.to_bits(),
+        m.shed_cpu_s.to_bits(),
+        m.capacity_mean.to_bits(),
+        m.capacity_min.to_bits(),
+        m.healthy_epochs,
+        m.degraded_epochs,
+        encode_opt_f64(m.p99_healthy_s),
+        encode_opt_f64(m.p99_degraded_s),
+        m.recoveries,
+        encode_opt_f64(m.recovery_mean_s),
+        encode_opt_f64(m.recovery_max_s),
+        m.trips,
+        m.peak_celsius.to_bits(),
+    )
+}
+
+/// Parses one chaos journal line back into `(index, label, metrics)`.
+/// Returns `None` for comments, blanks, and malformed or truncated
+/// lines. Exposed for the journal property tests.
+pub fn decode_chaos_entry(line: &str) -> Option<(usize, String, ChaosMetrics)> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if tokens.len() != 3 + CHAOS_METRIC_TOKENS || tokens[0] != "chaos" {
+        return None;
+    }
+    let index: usize = tokens[1].parse().ok()?;
+    let label = tokens[2].to_string();
+    let m = &tokens[3..];
+    let metrics = ChaosMetrics {
+        arrived_requests: m[0].parse().ok()?,
+        shed_requests: m[1].parse().ok()?,
+        shed_fraction: parse_hex_f64(m[2])?,
+        arrived_cpu_s: parse_hex_f64(m[3])?,
+        served_cpu_s: parse_hex_f64(m[4])?,
+        shed_cpu_s: parse_hex_f64(m[5])?,
+        capacity_mean: parse_hex_f64(m[6])?,
+        capacity_min: parse_hex_f64(m[7])?,
+        healthy_epochs: m[8].parse().ok()?,
+        degraded_epochs: m[9].parse().ok()?,
+        p99_healthy_s: parse_opt_f64(m[10])?,
+        p99_degraded_s: parse_opt_f64(m[11])?,
+        recoveries: m[12].parse().ok()?,
+        recovery_mean_s: parse_opt_f64(m[13])?,
+        recovery_max_s: parse_opt_f64(m[14])?,
+        trips: m[15].parse().ok()?,
+        peak_celsius: parse_hex_f64(m[16])?,
+    };
+    Some((index, label, metrics))
+}
+
+/// A chaos sweep's journal: same healing, replay, and append discipline
+/// as [`FleetJournal`], but the unit is one (intensity, policy) grid
+/// point and the identity is the grid fingerprint (base config, every
+/// synthetic plan's bytes, the recovery hysteresis).
+#[derive(Debug)]
+pub struct ChaosJournal {
+    path: PathBuf,
+    /// Expected label per point index, from the grid; entries whose
+    /// label disagrees are from an incompatible grid and never replay.
+    labels: Vec<String>,
+    entries: BTreeMap<usize, ChaosMetrics>,
+    /// `None` once an I/O error has disabled journaling.
+    file: Mutex<Option<File>>,
+}
+
+impl ChaosJournal {
+    /// Opens the journal for `grid` inside `dir`; same resume/heal
+    /// contract as [`FleetJournal::open`].
+    pub fn open(dir: &Path, grid: &ChaosGrid, resume: bool) -> ChaosJournal {
+        let fingerprint = grid.fingerprint();
+        let path = chaos_journal_path(dir, fingerprint);
+        let labels: Vec<String> = grid
+            .points()
+            .into_iter()
+            .map(|(intensity, kind)| ChaosGrid::label(intensity, kind))
+            .collect();
+        let mut entries = BTreeMap::new();
+        if resume {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                for line in text.lines() {
+                    if let Some((index, label, metrics)) = decode_chaos_entry(line) {
+                        if labels.get(index).is_some_and(|expected| *expected == label) {
+                            entries.insert(index, metrics);
+                        }
+                    }
+                }
+            }
+        }
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create journal dir {}: {err}", dir.display());
+            return ChaosJournal {
+                path,
+                labels,
+                entries,
+                file: Mutex::new(None),
+            };
+        }
+        let opened = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(&path);
+        let file = match opened {
+            Ok(mut file) => {
+                let mut prefix =
+                    format!("# dimetrodon fleet chaos journal v1 grid {fingerprint:016x}\n");
+                for (&index, metrics) in &entries {
+                    prefix.push_str(&encode_chaos_entry(index, &labels[index], metrics));
+                    prefix.push('\n');
+                }
+                if let Err(err) = file.write_all(prefix.as_bytes()).and_then(|()| file.flush()) {
+                    eprintln!("warning: journal write failed ({err}); journaling disabled");
+                    None
+                } else {
+                    Some(file)
+                }
+            }
+            Err(err) => {
+                eprintln!(
+                    "warning: cannot open journal {}: {err}; journaling disabled",
+                    path.display()
+                );
+                None
+            }
+        };
+        ChaosJournal {
+            path,
+            labels,
+            entries,
+            file: Mutex::new(file),
+        }
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Points loaded for replay at open.
+    pub fn replayed_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The replayed metrics for a point, if its line survived.
+    pub fn replayed(&self, index: usize) -> Option<ChaosMetrics> {
+        self.entries.get(&index).cloned()
+    }
+
+    /// Appends one completed point and flushes. Thread-safe; workers
+    /// append in completion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is not the grid's label for `index` — an entry
+    /// written under the wrong identity would silently poison resumes.
+    pub fn append(&self, index: usize, label: &str, metrics: &ChaosMetrics) {
+        assert_eq!(
+            self.labels.get(index).map(String::as_str),
+            Some(label),
+            "chaos journal append under a label the grid does not own"
+        );
+        let mut guard = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(file) = guard.as_mut() {
+            let mut line = encode_chaos_entry(index, label, metrics);
+            line.push('\n');
+            let written = file.write_all(line.as_bytes()).and_then(|()| file.flush());
+            if let Err(err) = written {
+                eprintln!("warning: journal write failed ({err}); journaling disabled");
+                *guard = None;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +517,59 @@ mod tests {
         assert!(decode_entry("# header").is_none());
         assert!(decode_entry("point 0123 garbage").is_none());
         assert!(decode_entry("variant x round-robin 0").is_none());
+    }
+
+    fn sample_metrics() -> ChaosMetrics {
+        ChaosMetrics {
+            arrived_requests: 3600,
+            shed_requests: 42,
+            shed_fraction: 42.0 / 3600.0,
+            arrived_cpu_s: 512.25,
+            served_cpu_s: 430.5,
+            shed_cpu_s: 11.75,
+            capacity_mean: 0.96875,
+            capacity_min: 0.75,
+            healthy_epochs: 20,
+            degraded_epochs: 10,
+            p99_healthy_s: Some(1.5),
+            p99_degraded_s: Some(4.25),
+            recoveries: 2,
+            recovery_mean_s: Some(6.0),
+            recovery_max_s: Some(9.0),
+            trips: 5,
+            peak_celsius: 51.375,
+        }
+    }
+
+    #[test]
+    fn chaos_entries_round_trip_bit_for_bit() {
+        let metrics = sample_metrics();
+        let line = encode_chaos_entry(3, "i0.50:least-loaded", &metrics);
+        let (index, label, decoded) = decode_chaos_entry(&line).expect("round trip");
+        assert_eq!(index, 3);
+        assert_eq!(label, "i0.50:least-loaded");
+        assert_eq!(decoded, metrics);
+
+        let mut sparse = metrics;
+        sparse.p99_degraded_s = None;
+        sparse.recovery_mean_s = None;
+        sparse.recovery_max_s = None;
+        let line = encode_chaos_entry(0, "i0.00:round-robin", &sparse);
+        let (_, _, decoded) = decode_chaos_entry(&line).expect("sparse round trip");
+        assert_eq!(decoded, sparse);
+    }
+
+    #[test]
+    fn every_truncation_of_a_chaos_line_is_rejected() {
+        let line = encode_chaos_entry(7, "i1.00:pinned-migrate", &sample_metrics());
+        for cut in 0..line.len() {
+            assert!(
+                decode_chaos_entry(&line[..cut]).is_none(),
+                "truncation at byte {cut} must not decode"
+            );
+        }
+        assert!(decode_chaos_entry("# header").is_none());
+        assert!(decode_chaos_entry("variant 0 round-robin 0").is_none());
     }
 
     #[test]

@@ -33,14 +33,27 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod chaos;
 mod config;
 mod experiment;
+mod health;
 mod journal;
 mod policy;
 mod sim;
 
+pub use chaos::{
+    chaos_comparison, chaos_comparison_with, chaos_table, ChaosGrid, ChaosOutcome,
+    DEFAULT_INTENSITIES, QUICK_INTENSITIES, RECOVERY_HYSTERESIS_EPOCHS,
+};
 pub use config::FleetConfig;
 pub use experiment::{fleet_comparison, fleet_comparison_with, fleet_table, FleetOutcome};
-pub use journal::{journal_path, FleetJournal};
-pub use policy::{CoolestFirst, FleetView, LeastLoaded, PinnedMigrate, PolicyKind, RoundRobin, RoutePolicy};
-pub use sim::{run_fleet, Fleet, RackReport, MAX_INJECT_P};
+pub use health::{HealthModel, HealthState};
+pub use journal::{chaos_journal_path, journal_path, ChaosJournal, FleetJournal};
+pub use policy::{
+    CoolestFirst, FailoverPolicy, FleetView, LeastLoaded, PinnedMigrate, PolicyKind, RoundRobin,
+    RoutePolicy,
+};
+pub use sim::{
+    run_fleet, ChaosMetrics, Fleet, RackReport, MAX_CRAC_FAILURE_INLET_CELSIUS, MAX_INJECT_P,
+    ROUTE_RETRIES,
+};

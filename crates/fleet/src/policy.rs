@@ -1,6 +1,7 @@
 //! Cluster routing policies: where each arriving request runs.
 
 use crate::config::FleetConfig;
+use crate::health::HealthState;
 
 /// The per-epoch cluster state a policy may consult. All slices are
 /// indexed by machine (except `tenant_demand_cpu_s`, by tenant) and
@@ -17,12 +18,22 @@ pub struct FleetView<'a> {
     pub temps_celsius: &'a [f64],
     /// Cumulative routed CPU demand per tenant, CPU-seconds.
     pub tenant_demand_cpu_s: &'a [f64],
+    /// What each machine advertises to the router this epoch. Without a
+    /// chaos plan every machine is [`HealthState::Up`] forever; policies
+    /// must never route to a machine advertised
+    /// [`Down`](HealthState::Down).
+    pub health: &'a [HealthState],
 }
 
 impl FleetView<'_> {
     /// Number of machines in the fleet.
     pub fn machines(&self) -> usize {
         self.backlog_cpu_s.len()
+    }
+
+    /// Whether machine `m` is advertised routable (not down).
+    pub fn routable(&self, m: usize) -> bool {
+        self.health[m] != HealthState::Down
     }
 }
 
@@ -39,16 +50,26 @@ pub trait RoutePolicy {
     fn end_epoch(&mut self, _view: &FleetView<'_>) {}
 }
 
-/// Index of the smallest value, lowest index on ties (strict `<` keeps
-/// the scan deterministic without any float equality).
-fn argmin(values: &[f64]) -> usize {
-    let mut best = 0;
-    for i in 1..values.len() {
-        if values[i] < values[best] {
-            best = i;
+/// Index of the smallest value over routable machines, lowest index on
+/// ties (strict `<` keeps the scan deterministic without any float
+/// equality). When every machine is up this reduces exactly to a plain
+/// argmin. Falls back to machine 0 if the whole fleet is down — the
+/// epoch loop sheds the request after its bounded retries anyway.
+fn argmin_routable(values: &[f64], view: &FleetView<'_>) -> usize {
+    let mut best: Option<usize> = None;
+    for (i, &value) in values.iter().enumerate() {
+        if !view.routable(i) {
+            continue;
+        }
+        let better = match best {
+            Some(b) => value < values[b],
+            None => true,
+        };
+        if better {
+            best = Some(i);
         }
     }
-    best
+    best.unwrap_or(0)
 }
 
 /// Index of the largest value, lowest index on ties.
@@ -75,8 +96,20 @@ impl RoutePolicy for RoundRobin {
     }
 
     fn route(&mut self, _tenant: usize, view: &FleetView<'_>) -> usize {
-        let chosen = self.next % view.machines();
-        self.next = (chosen + 1) % view.machines();
+        let n = view.machines();
+        // Scan at most one full cycle for a routable machine; with every
+        // machine up the first candidate wins, which is exactly the
+        // pre-health behavior. A fully-down fleet yields the cursor
+        // unchanged and the epoch loop sheds the request.
+        let mut chosen = self.next % n;
+        for offset in 0..n {
+            let candidate = (self.next + offset) % n;
+            if view.routable(candidate) {
+                chosen = candidate;
+                break;
+            }
+        }
+        self.next = (chosen + 1) % n;
         chosen
     }
 }
@@ -91,7 +124,7 @@ impl RoutePolicy for LeastLoaded {
     }
 
     fn route(&mut self, _tenant: usize, view: &FleetView<'_>) -> usize {
-        argmin(view.backlog_cpu_s)
+        argmin_routable(view.backlog_cpu_s, view)
     }
 }
 
@@ -106,7 +139,7 @@ impl RoutePolicy for CoolestFirst {
     }
 
     fn route(&mut self, _tenant: usize, view: &FleetView<'_>) -> usize {
-        argmin(view.temps_celsius)
+        argmin_routable(view.temps_celsius, view)
     }
 }
 
@@ -148,8 +181,22 @@ impl RoutePolicy for PinnedMigrate {
         "pinned-migrate"
     }
 
-    fn route(&mut self, tenant: usize, _view: &FleetView<'_>) -> usize {
-        self.home[tenant]
+    fn route(&mut self, tenant: usize, view: &FleetView<'_>) -> usize {
+        let home = self.home[tenant];
+        if view.routable(home) {
+            return home;
+        }
+        // Transient failover while the home is down: the next routable
+        // machine scanning upward from the home, wrapping. Affinity is
+        // only re-pinned by the epoch-granularity migration below.
+        let n = view.machines();
+        for offset in 1..n {
+            let candidate = (home + offset) % n;
+            if view.routable(candidate) {
+                return candidate;
+            }
+        }
+        home
     }
 
     fn end_epoch(&mut self, view: &FleetView<'_>) {
@@ -157,7 +204,7 @@ impl RoutePolicy for PinnedMigrate {
             return;
         }
         let hottest = argmax(view.temps_celsius);
-        let coolest = argmin(view.temps_celsius);
+        let coolest = argmin_routable(view.temps_celsius, view);
         if view.temps_celsius[hottest] - view.temps_celsius[coolest] <= self.hysteresis_celsius {
             return;
         }
@@ -179,6 +226,138 @@ impl RoutePolicy for PinnedMigrate {
             self.home[tenant] = coolest;
             self.migrations += 1;
         }
+    }
+}
+
+impl<P: RoutePolicy + ?Sized> RoutePolicy for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn route(&mut self, tenant: usize, view: &FleetView<'_>) -> usize {
+        (**self).route(tenant, view)
+    }
+
+    fn end_epoch(&mut self, view: &FleetView<'_>) {
+        (**self).end_epoch(view);
+    }
+}
+
+/// Health hysteresis around any inner [`RoutePolicy`]: a machine that
+/// recovers is held out of rotation until it has advertised up for a
+/// configurable streak of epochs, so a flapping machine (crash-looping,
+/// marginal PSU) does not thrash the router with re-route/re-return
+/// cycles. The wrapper rewrites only the health slice the inner policy
+/// sees; with no failures it is an exact pass-through.
+pub struct FailoverPolicy<P: RoutePolicy> {
+    inner: P,
+    recovery_epochs: u64,
+    /// The health the inner policy is shown: real health, except that
+    /// recovering machines stay down until their streak completes.
+    effective: Vec<HealthState>,
+    /// Consecutive epochs each machine has advertised up while the
+    /// wrapper still holds it down.
+    up_streak: Vec<u64>,
+    /// Whether this epoch's health has been folded in already; health is
+    /// constant within an epoch, so the fold must run exactly once.
+    tracked_this_epoch: bool,
+    holds: u64,
+}
+
+impl<P: RoutePolicy> std::fmt::Debug for FailoverPolicy<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailoverPolicy")
+            .field("inner", &self.inner.name())
+            .field("recovery_epochs", &self.recovery_epochs)
+            .field("holds", &self.holds)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: RoutePolicy> FailoverPolicy<P> {
+    /// Wraps `inner`, requiring `recovery_epochs` consecutive up
+    /// heartbeats before a recovered machine re-enters rotation.
+    pub fn new(inner: P, recovery_epochs: u64) -> FailoverPolicy<P> {
+        FailoverPolicy {
+            inner,
+            recovery_epochs,
+            effective: Vec::new(),
+            up_streak: Vec::new(),
+            tracked_this_epoch: false,
+            holds: 0,
+        }
+    }
+
+    /// Times a recovered machine was held out of rotation for at least
+    /// one epoch by the hysteresis.
+    pub fn holds(&self) -> u64 {
+        self.holds
+    }
+
+    /// Folds the advertised health into the effective health the inner
+    /// policy will see, applying the recovery hysteresis. Runs at most
+    /// once per epoch: the first `route` (or a route-less `end_epoch`)
+    /// triggers it, `end_epoch` re-arms it.
+    fn track(&mut self, health: &[HealthState]) {
+        if self.tracked_this_epoch {
+            return;
+        }
+        self.tracked_this_epoch = true;
+        if self.effective.len() != health.len() {
+            self.effective = health.to_vec();
+            self.up_streak = vec![0; health.len()];
+            return;
+        }
+        for (m, &observed) in health.iter().enumerate() {
+            match observed {
+                HealthState::Down => {
+                    self.effective[m] = HealthState::Down;
+                    self.up_streak[m] = 0;
+                }
+                state => {
+                    if self.effective[m] == HealthState::Down {
+                        // Recovering: count the streak before re-entry.
+                        self.up_streak[m] += 1;
+                        if self.up_streak[m] > self.recovery_epochs {
+                            self.effective[m] = state;
+                        } else if self.up_streak[m] == 1 {
+                            self.holds += 1;
+                        }
+                    } else {
+                        self.effective[m] = state;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<P: RoutePolicy> RoutePolicy for FailoverPolicy<P> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn route(&mut self, tenant: usize, view: &FleetView<'_>) -> usize {
+        self.track(view.health);
+        let masked = FleetView {
+            backlog_cpu_s: view.backlog_cpu_s,
+            temps_celsius: view.temps_celsius,
+            tenant_demand_cpu_s: view.tenant_demand_cpu_s,
+            health: &self.effective,
+        };
+        self.inner.route(tenant, &masked)
+    }
+
+    fn end_epoch(&mut self, view: &FleetView<'_>) {
+        self.track(view.health);
+        let masked = FleetView {
+            backlog_cpu_s: view.backlog_cpu_s,
+            temps_celsius: view.temps_celsius,
+            tenant_demand_cpu_s: view.tenant_demand_cpu_s,
+            health: &self.effective,
+        };
+        self.inner.end_epoch(&masked);
+        self.tracked_this_epoch = false;
     }
 }
 
@@ -240,6 +419,8 @@ impl PolicyKind {
 mod tests {
     use super::*;
 
+    const ALL_UP: [HealthState; 3] = [HealthState::Up; 3];
+
     fn view<'a>(
         backlog: &'a [f64],
         temps: &'a [f64],
@@ -249,6 +430,21 @@ mod tests {
             backlog_cpu_s: backlog,
             temps_celsius: temps,
             tenant_demand_cpu_s: tenant_demand,
+            health: &ALL_UP[..backlog.len().min(ALL_UP.len())],
+        }
+    }
+
+    fn view_with_health<'a>(
+        backlog: &'a [f64],
+        temps: &'a [f64],
+        tenant_demand: &'a [f64],
+        health: &'a [HealthState],
+    ) -> FleetView<'a> {
+        FleetView {
+            backlog_cpu_s: backlog,
+            temps_celsius: temps,
+            tenant_demand_cpu_s: tenant_demand,
+            health,
         }
     }
 
@@ -289,6 +485,85 @@ mod tests {
         // Inside hysteresis: nothing moves.
         policy.end_epoch(&view(&[0.0; 2], &[40.4, 40.0], &demand));
         assert_eq!(policy.migrations(), 1);
+    }
+
+    #[test]
+    fn every_policy_skips_machines_advertised_down() {
+        let health = [HealthState::Up, HealthState::Down, HealthState::Up];
+        let backlog = [5.0, 0.0, 9.0];
+        let temps = [45.0, 20.0, 50.0];
+        let v = view_with_health(&backlog, &temps, &[], &health);
+
+        // The dead machine has both the least backlog and the coolest
+        // (stale) temperature — exactly the trap argmin must not fall in.
+        assert_eq!(LeastLoaded.route(0, &v), 0);
+        assert_eq!(CoolestFirst.route(0, &v), 0);
+
+        let mut rr = RoundRobin::default();
+        let picks: Vec<usize> = (0..4).map(|_| rr.route(0, &v)).collect();
+        assert_eq!(picks, [0, 2, 0, 2], "round robin cycles over survivors");
+    }
+
+    #[test]
+    fn degraded_machines_stay_routable() {
+        let health = [HealthState::Degraded, HealthState::Up, HealthState::Up];
+        let backlog = [0.0, 3.0, 3.0];
+        let v = view_with_health(&backlog, &[0.0; 3], &[], &health);
+        assert_eq!(
+            LeastLoaded.route(0, &v),
+            0,
+            "degraded is a trust signal, not an exclusion"
+        );
+    }
+
+    #[test]
+    fn pinned_migrate_fails_over_while_the_home_is_down_without_rehoming() {
+        let mut policy = PinnedMigrate::new(2, 3, 10.0);
+        assert_eq!(policy.home_of(1), 1);
+        let health = [HealthState::Up, HealthState::Down, HealthState::Up];
+        let v = view_with_health(&[0.0; 3], &[40.0; 3], &[0.0, 0.0], &health);
+        assert_eq!(policy.route(1, &v), 2, "next routable machine after the home");
+        assert_eq!(policy.home_of(1), 1, "affinity survives the outage");
+        let recovered = view(&[0.0; 3], &[40.0; 3], &[0.0, 0.0]);
+        assert_eq!(policy.route(1, &recovered), 1, "home resumes when back up");
+    }
+
+    #[test]
+    fn failover_wrapper_holds_recovered_machines_for_the_hysteresis() {
+        let mut policy = FailoverPolicy::new(LeastLoaded, 2);
+        let backlog = [0.0, 5.0, 5.0];
+        let down = [HealthState::Down, HealthState::Up, HealthState::Up];
+        let up = ALL_UP;
+
+        // Epoch 1: machine 0 down; wrapper must exclude it.
+        let v = view_with_health(&backlog, &[0.0; 3], &[], &down);
+        assert_eq!(policy.route(0, &v), 1);
+        policy.end_epoch(&v);
+
+        // Epochs 2–3: machine 0 advertises up again, but the wrapper
+        // holds it down until the streak exceeds 2 epochs.
+        for _ in 0..2 {
+            let v = view_with_health(&backlog, &[0.0; 3], &[], &up);
+            assert_eq!(policy.route(0, &v), 1, "held during the recovery streak");
+            policy.end_epoch(&v);
+        }
+        assert_eq!(policy.holds(), 1, "one recovery event was held");
+
+        // Epoch 4: streak complete, the machine re-enters rotation.
+        let v = view_with_health(&backlog, &[0.0; 3], &[], &up);
+        assert_eq!(policy.route(0, &v), 0);
+    }
+
+    #[test]
+    fn failover_wrapper_is_a_pass_through_without_failures() {
+        let mut wrapped = FailoverPolicy::new(RoundRobin::default(), 3);
+        let mut bare = RoundRobin::default();
+        let v = view(&[0.0; 3], &[0.0; 3], &[]);
+        for _ in 0..7 {
+            assert_eq!(wrapped.route(0, &v), bare.route(0, &v));
+        }
+        assert_eq!(wrapped.name(), "round-robin", "naming is transparent");
+        assert_eq!(wrapped.holds(), 0);
     }
 
     #[test]

@@ -28,12 +28,15 @@
 //! and it caps the busy fraction (cores spend the injected quanta idle, so
 //! power and temperature fall).
 
+use dimetrodon_analysis::Availability;
+use dimetrodon_faults::CrashBacklog;
 use dimetrodon_machine::{CoreId, Machine};
 use dimetrodon_power::CoreState;
-use dimetrodon_sim_core::{sim_invariant, SimDuration, SimRng};
+use dimetrodon_sim_core::{sim_invariant, SimDuration, SimRng, SimTime};
 use dimetrodon_workload::{QosStats, WebConfig};
 
 use crate::config::FleetConfig;
+use crate::health::HealthModel;
 use crate::policy::{FleetView, RoutePolicy};
 
 /// Ceiling on the per-machine injection proportion: above this the paper's
@@ -41,9 +44,23 @@ use crate::policy::{FleetView, RoutePolicy};
 /// keeps a guaranteed 25 % drain rate so latencies stay finite.
 pub const MAX_INJECT_P: f64 = 0.75;
 
+/// Extra routing attempts after a request lands on a machine that is
+/// actually down (crashed this epoch, heartbeat not yet timed out).
+/// Exhausting them sheds the request — counted, never silently lost.
+pub const ROUTE_RETRIES: usize = 2;
+
 /// Per-tenant demand weights span this log-uniform range, so a few tenants
 /// are genuinely hot — the migration policy needs someone worth moving.
 const TENANT_WEIGHT_RANGE: (f64, f64) = (0.25, 4.0);
+
+/// Hot-aisle saturation under a failed CRAC, °C. Recirculated air mixes
+/// with the room; no amount of re-ingested exhaust lifts an inlet past
+/// the aisle's mixed-air ceiling. Without this clamp a scaled
+/// recirculation coefficient can push the epoch-to-epoch loop gain
+/// (inlet → leakage → rejected heat → inlet) past one, and the linear
+/// recirculation model diverges instead of settling hot. Healthy racks
+/// never reach it, so it is applied on the degraded-CRAC path only.
+pub const MAX_CRAC_FAILURE_INLET_CELSIUS: f64 = 70.0;
 
 /// What one rack experienced over a run.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,6 +119,84 @@ pub struct Fleet {
     rng: SimRng,
     /// Epochs executed so far.
     epochs_run: u64,
+    /// The settled machine every slot was cloned from; a crash restart
+    /// re-clones it, so recovered machines come back thermally cold.
+    prototype: Machine,
+    /// Advertised per-machine health (heartbeat-lagged) plus the
+    /// recovery log the availability metrics consume.
+    health: HealthModel,
+    /// Ground truth this epoch: machine crashed per the chaos plan.
+    down: Vec<bool>,
+    /// Ground truth this epoch: controller wedged per the chaos plan.
+    wedged: Vec<bool>,
+    /// Active CRAC degradation per rack: (recirc scale, inlet delta °C).
+    crac: Vec<Option<(f64, f64)>>,
+    /// Whether chaos accounting runs. Forced on by a non-empty plan;
+    /// switchable on for plan-less baselines so an intensity-0 sweep row
+    /// still reports availability. Never on by default with an empty
+    /// plan — the zero-cost guarantee rests on that.
+    collect_chaos: bool,
+    /// Chaos accounting accumulators (zeros unless `collect_chaos`).
+    stats: ChaosStats,
+}
+
+/// Chaos accounting accumulated per epoch while collection is on.
+#[derive(Debug, Clone, Default)]
+struct ChaosStats {
+    arrived_requests: u64,
+    routed_requests: u64,
+    shed_requests: u64,
+    arrived_cpu_s: f64,
+    served_cpu_s: f64,
+    shed_cpu_s: f64,
+    availability: Availability,
+    qos_healthy: QosStats,
+    qos_degraded: QosStats,
+    healthy_epochs: u64,
+    degraded_epochs: u64,
+    /// Recovery-log entries already forwarded to `availability`.
+    recoveries_fed: usize,
+}
+
+/// Availability-under-failure summary of one fleet run; `None`-valued
+/// fields had nothing to measure (no degraded epochs, no recoveries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosMetrics {
+    /// Requests offered to the router.
+    pub arrived_requests: u64,
+    /// Requests shed after exhausting the bounded re-route retries.
+    pub shed_requests: u64,
+    /// `shed_requests / arrived_requests` (0 when nothing arrived).
+    pub shed_fraction: f64,
+    /// CPU-seconds of demand offered.
+    pub arrived_cpu_s: f64,
+    /// CPU-seconds actually served.
+    pub served_cpu_s: f64,
+    /// CPU-seconds shed: un-routable demand plus backlog dropped by
+    /// crashes under the [`CrashBacklog::Drop`] disposition.
+    pub shed_cpu_s: f64,
+    /// Mean per-epoch fraction of machines up.
+    pub capacity_mean: f64,
+    /// Worst single-epoch fraction of machines up.
+    pub capacity_min: f64,
+    /// Epochs where every machine advertised up.
+    pub healthy_epochs: u64,
+    /// Epochs with at least one machine advertising degraded or down.
+    pub degraded_epochs: u64,
+    /// Nearest-rank p99 latency over requests routed in healthy epochs.
+    pub p99_healthy_s: Option<f64>,
+    /// Nearest-rank p99 latency over requests routed in degraded epochs.
+    pub p99_degraded_s: Option<f64>,
+    /// Completed outages (advertised down, later advertised up).
+    pub recoveries: u64,
+    /// Mean time from advertised-down to advertised-up, seconds.
+    pub recovery_mean_s: Option<f64>,
+    /// Longest time from advertised-down to advertised-up, seconds.
+    pub recovery_max_s: Option<f64>,
+    /// Reactive thermal-trip latches summed over the fleet.
+    pub trips: u64,
+    /// Peak machine temperature seen anywhere in the fleet, °C.
+    pub peak_celsius: f64,
 }
 
 impl Fleet {
@@ -144,8 +239,9 @@ impl Fleet {
             rack_peak_celsius[rack] = rack_peak_celsius[rack].max(temp);
         }
         let web = config.web();
+        let health = HealthModel::new(config.machines, config.heartbeat_timeout_epochs);
+        let collect_chaos = !config.chaos.is_empty();
         Fleet {
-            machines,
             rack_of,
             backlog_cpu_s: vec![0.0; config.machines],
             inject_p: vec![0.0; config.machines],
@@ -158,6 +254,14 @@ impl Fleet {
             rack_temp_samples: vec![0; racks],
             rng,
             epochs_run: 0,
+            health,
+            down: vec![false; config.machines],
+            wedged: vec![false; config.machines],
+            crac: vec![None; racks],
+            collect_chaos,
+            stats: ChaosStats::default(),
+            machines,
+            prototype,
             web,
             config,
         }
@@ -194,7 +298,17 @@ impl Fleet {
             backlog_cpu_s: &self.backlog_cpu_s,
             temps_celsius: &self.temps_celsius,
             tenant_demand_cpu_s: &self.tenant_demand_cpu_s,
+            health: self.health.states(),
         }
+    }
+
+    /// Turns chaos accounting on (or off, with an empty plan) for a run
+    /// that wants availability metrics without scheduled faults — the
+    /// intensity-0 rows of the chaos sweep. With a non-empty plan the
+    /// accounting is always on: the shed counters are what keep crashed
+    /// work conserved instead of silently lost.
+    pub fn set_collect_chaos(&mut self, on: bool) {
+        self.collect_chaos = on || !self.config.chaos.is_empty();
     }
 
     /// CPU-seconds of queue machine `m` drains per second right now:
@@ -204,10 +318,80 @@ impl Fleet {
         m.num_cores() as f64 * m.relative_speed() * (1.0 - self.inject_p[machine])
     }
 
+    /// Applies the chaos plan's transitions for the epoch starting at
+    /// `now` and feeds the health model one observation. Only called
+    /// when a plan is scheduled or chaos accounting is on.
+    fn begin_epoch_chaos(&mut self, now: SimTime) {
+        if !self.config.chaos.is_empty() {
+            let machines = self.machines.len();
+            let mut redistributed_cpu_s = 0.0;
+            let down_next: Vec<bool> = (0..machines)
+                .map(|m| self.config.chaos.machine_down(m, self.rack_of[m], now))
+                .collect();
+            for (m, &goes_down) in down_next.iter().enumerate() {
+                if goes_down && !self.down[m] {
+                    // Fresh crash: the queue dies with the machine.
+                    let orphaned = std::mem::replace(&mut self.backlog_cpu_s[m], 0.0);
+                    match self.config.chaos.on_crash() {
+                        CrashBacklog::Drop => self.stats.shed_cpu_s += orphaned,
+                        CrashBacklog::Redistribute => redistributed_cpu_s += orphaned,
+                    }
+                } else if !goes_down && self.down[m] {
+                    // Restart after the outage: thermally cold, controller
+                    // reset, exactly the state a first boot settles into.
+                    self.machines[m] = self.prototype.clone();
+                    self.inject_p[m] = 0.0;
+                    self.temps_celsius[m] = self.prototype.mean_sensor_temperature();
+                }
+            }
+            self.down = down_next;
+            if redistributed_cpu_s > 0.0 {
+                let up: Vec<usize> = (0..machines).filter(|&m| !self.down[m]).collect();
+                if up.is_empty() {
+                    // Nowhere to put it: redistribution degenerates to shed.
+                    self.stats.shed_cpu_s += redistributed_cpu_s;
+                } else {
+                    let share = redistributed_cpu_s / up.len() as f64;
+                    for m in up {
+                        self.backlog_cpu_s[m] += share;
+                    }
+                }
+            }
+            for m in 0..machines {
+                self.wedged[m] = self.config.chaos.machine_wedged(m, self.rack_of[m], now);
+            }
+            for rack in 0..self.crac.len() {
+                self.crac[rack] = self.config.chaos.rack_crac(rack, now);
+            }
+        }
+        let alive: Vec<bool> = self.down.iter().map(|&d| !d).collect();
+        let impaired: Vec<bool> = (0..self.machines.len())
+            .map(|m| self.wedged[m] || self.machines[m].is_tripped())
+            .collect();
+        self.health.observe(&alive, &impaired);
+    }
+
     /// Runs one control epoch under `policy`.
     pub fn step(&mut self, policy: &mut dyn RoutePolicy) {
         let epoch_secs = self.config.epoch.as_secs_f64();
         let mean_cpu_s = self.config.mean_service_cpu.as_secs_f64();
+        let chaos_on = !self.config.chaos.is_empty();
+        if chaos_on || self.collect_chaos {
+            let now = SimTime::ZERO + self.config.epoch * self.epochs_run;
+            self.begin_epoch_chaos(now);
+        }
+        let degraded_epoch = self.collect_chaos && self.health.any_not_up();
+        if self.collect_chaos {
+            let up = self.down.iter().filter(|&&d| !d).count();
+            self.stats
+                .availability
+                .record_capacity(up as f64 / self.machines.len() as f64);
+            if degraded_epoch {
+                self.stats.degraded_epochs += 1;
+            } else {
+                self.stats.healthy_epochs += 1;
+            }
+        }
 
         // 1. Offered load: drawn in full before the policy sees anything,
         // so the stream is identical across policies and the RNG never
@@ -225,27 +409,70 @@ impl Fleet {
         let rates: Vec<f64> = (0..self.machines.len()).map(|m| self.drain_rate(m)).collect();
 
         // 2. Route and score each request in arrival order. Backlog grows
-        // as requests land, so load-aware policies spread a burst.
+        // as requests land, so load-aware policies spread a burst. A
+        // request that lands on a machine that actually crashed (health
+        // hasn't noticed yet) is re-routed up to ROUTE_RETRIES times,
+        // then shed — with no chaos plan the first attempt always sticks
+        // and this loop is the old single route call verbatim.
         for (tenant, demand) in arrivals {
-            let machine = policy.route(tenant, &self.view());
-            assert!(
-                machine < self.machines.len(),
-                "policy {} routed to machine {machine} of {}",
-                policy.name(),
-                self.machines.len()
-            );
-            let latency_s = (self.backlog_cpu_s[machine] + demand) / rates[machine];
-            self.rack_qos[self.rack_of[machine]]
-                .record(SimDuration::from_secs_f64(latency_s), &self.web);
-            self.backlog_cpu_s[machine] += demand;
-            self.tenant_demand_cpu_s[tenant] += demand;
+            if self.collect_chaos {
+                self.stats.arrived_requests += 1;
+                self.stats.arrived_cpu_s += demand;
+            }
+            let mut landed = None;
+            for _attempt in 0..=ROUTE_RETRIES {
+                let machine = policy.route(tenant, &self.view());
+                assert!(
+                    machine < self.machines.len(),
+                    "policy {} routed to machine {machine} of {}",
+                    policy.name(),
+                    self.machines.len()
+                );
+                if !chaos_on || !self.down[machine] {
+                    landed = Some(machine);
+                    break;
+                }
+            }
+            match landed {
+                Some(machine) => {
+                    let latency_s = (self.backlog_cpu_s[machine] + demand) / rates[machine];
+                    let latency = SimDuration::from_secs_f64(latency_s);
+                    self.rack_qos[self.rack_of[machine]].record(latency, &self.web);
+                    if self.collect_chaos {
+                        self.stats.routed_requests += 1;
+                        let split = if degraded_epoch {
+                            &mut self.stats.qos_degraded
+                        } else {
+                            &mut self.stats.qos_healthy
+                        };
+                        split.record(latency, &self.web);
+                    }
+                    self.backlog_cpu_s[machine] += demand;
+                    self.tenant_demand_cpu_s[tenant] += demand;
+                }
+                None => {
+                    // Conservation over silence: the demand is charged to
+                    // the shed counters, never dropped untracked.
+                    self.stats.shed_requests += 1;
+                    self.stats.shed_cpu_s += demand;
+                }
+            }
         }
 
         // 3–4. Serve, heat, control — one linear pass over the arena.
+        // Crashed machines are powered off: they serve nothing, reject no
+        // heat, and their controller and sensors are frozen until the
+        // restart re-clones them from the prototype.
         for (machine, &rate) in rates.iter().enumerate() {
+            if chaos_on && self.down[machine] {
+                continue;
+            }
             let capacity_cpu_s = rate * epoch_secs;
             let served = self.backlog_cpu_s[machine].min(capacity_cpu_s);
             self.backlog_cpu_s[machine] -= served;
+            if self.collect_chaos {
+                self.stats.served_cpu_s += served;
+            }
             sim_invariant!(
                 self.backlog_cpu_s[machine] >= 0.0 && self.backlog_cpu_s[machine].is_finite(),
                 "machine {machine} backlog must stay finite and non-negative, got {}",
@@ -274,24 +501,78 @@ impl Fleet {
 
             // The Dimetrodon-style preventive loop: integrate temperature
             // error into the injection proportion, clamped so the queue
-            // never loses its guaranteed drain rate (anti-windup).
-            let error = temp - self.config.setpoint_celsius;
-            self.inject_p[machine] = (self.inject_p[machine]
-                + self.config.gain_per_celsius_second * error * epoch_secs)
-                .clamp(0.0, MAX_INJECT_P);
+            // never loses its guaranteed drain rate (anti-windup). A
+            // wedged controller holds its last commanded proportion.
+            if !(chaos_on && self.wedged[machine]) {
+                let error = temp - self.config.setpoint_celsius;
+                self.inject_p[machine] = (self.inject_p[machine]
+                    + self.config.gain_per_celsius_second * error * epoch_secs)
+                    .clamp(0.0, MAX_INJECT_P);
+            }
         }
 
         // 5. Rack recirculation, in fixed machine order: next epoch's
-        // inlet is the room plus the rack's rejected heat.
+        // inlet is the room plus the rack's rejected heat. A degraded
+        // CRAC scales the recirculated share and lifts the supply air;
+        // crashed machines neither reject heat nor take an inlet update.
         let racks = self.config.racks();
         let mut rack_heat_w = vec![0.0; racks];
         for machine in 0..self.machines.len() {
+            if chaos_on && self.down[machine] {
+                continue;
+            }
             rack_heat_w[self.rack_of[machine]] += self.machines[machine].heat_to_inlet();
         }
         for machine in 0..self.machines.len() {
-            let inlet = self.config.room_celsius
-                + self.config.recirc_celsius_per_watt * rack_heat_w[self.rack_of[machine]];
+            if chaos_on && self.down[machine] {
+                continue;
+            }
+            let rack = self.rack_of[machine];
+            let inlet = match self.crac[rack] {
+                Some((recirc_scale, inlet_delta_celsius)) => (self.config.room_celsius
+                    + self.config.recirc_celsius_per_watt * recirc_scale * rack_heat_w[rack]
+                    + inlet_delta_celsius)
+                    .min(MAX_CRAC_FAILURE_INLET_CELSIUS),
+                None => {
+                    self.config.room_celsius
+                        + self.config.recirc_celsius_per_watt * rack_heat_w[rack]
+                }
+            };
             self.machines[machine].set_inlet_celsius(inlet);
+        }
+
+        if self.collect_chaos {
+            // Forward newly completed recoveries to the availability
+            // accumulator, converting health-model epochs to seconds.
+            let log = self.health.recovery_epochs();
+            while self.stats.recoveries_fed < log.len() {
+                let epochs = log[self.stats.recoveries_fed];
+                self.stats
+                    .availability
+                    .record_recovery_secs(epochs as f64 * epoch_secs);
+                self.stats.recoveries_fed += 1;
+            }
+            sim_invariant!(
+                self.stats.arrived_requests
+                    == self.stats.routed_requests + self.stats.shed_requests,
+                "request conservation: {} arrived != {} routed + {} shed",
+                self.stats.arrived_requests,
+                self.stats.routed_requests,
+                self.stats.shed_requests
+            );
+            sim_invariant!(
+                {
+                    let queued: f64 = self.backlog_cpu_s.iter().sum();
+                    let accounted =
+                        self.stats.served_cpu_s + queued + self.stats.shed_cpu_s;
+                    (self.stats.arrived_cpu_s - accounted).abs()
+                        <= 1e-6 * self.stats.arrived_cpu_s.max(1.0)
+                },
+                "demand conservation: {} arrived CPU-s != served {} + queued + shed {}",
+                self.stats.arrived_cpu_s,
+                self.stats.served_cpu_s,
+                self.stats.shed_cpu_s
+            );
         }
 
         policy.end_epoch(&self.view());
@@ -343,6 +624,50 @@ impl Fleet {
     }
 }
 
+impl Fleet {
+    /// The advertised health of every machine this epoch.
+    pub fn health(&self) -> &HealthModel {
+        &self.health
+    }
+
+    /// The availability-under-failure summary of the run so far, or
+    /// `None` when chaos accounting is off (empty plan and
+    /// [`Fleet::set_collect_chaos`] never called).
+    pub fn chaos_metrics(&self) -> Option<ChaosMetrics> {
+        if !self.collect_chaos {
+            return None;
+        }
+        let s = &self.stats;
+        let availability = &s.availability;
+        Some(ChaosMetrics {
+            arrived_requests: s.arrived_requests,
+            shed_requests: s.shed_requests,
+            shed_fraction: if s.arrived_requests > 0 {
+                s.shed_requests as f64 / s.arrived_requests as f64
+            } else {
+                0.0
+            },
+            arrived_cpu_s: s.arrived_cpu_s,
+            served_cpu_s: s.served_cpu_s,
+            shed_cpu_s: s.shed_cpu_s,
+            capacity_mean: availability.capacity_mean().unwrap_or(1.0),
+            capacity_min: availability.capacity_min().unwrap_or(1.0),
+            healthy_epochs: s.healthy_epochs,
+            degraded_epochs: s.degraded_epochs,
+            p99_healthy_s: s.qos_healthy.latency_percentile(99.0),
+            p99_degraded_s: s.qos_degraded.latency_percentile(99.0),
+            recoveries: availability.recoveries(),
+            recovery_mean_s: availability.recovery_mean_s(),
+            recovery_max_s: availability.recovery_max_s(),
+            trips: self.machines.iter().map(Machine::trip_count).sum(),
+            peak_celsius: self
+                .rack_peak_celsius
+                .iter()
+                .fold(f64::NEG_INFINITY, |acc, &t| acc.max(t)),
+        })
+    }
+}
+
 /// Builds a fleet from `config`, runs the full duration under `policy`,
 /// and returns the per-rack reports.
 pub fn run_fleet(config: &FleetConfig, policy: &mut dyn RoutePolicy) -> Vec<RackReport> {
@@ -355,6 +680,7 @@ pub fn run_fleet(config: &FleetConfig, policy: &mut dyn RoutePolicy) -> Vec<Rack
 mod tests {
     use super::*;
     use crate::policy::{CoolestFirst, LeastLoaded, PinnedMigrate, RoundRobin};
+    use dimetrodon_faults::{FleetFaultKind, FleetFaultPlan, FleetTarget};
 
     fn small_config(seed: u64) -> FleetConfig {
         let mut config = FleetConfig::rack_scale(8, seed);
@@ -504,6 +830,46 @@ mod tests {
             assert!(report.rms_celsius.is_finite());
             assert!(report.p99_latency_s.is_some(), "every rack served traffic");
         }
+    }
+
+    #[test]
+    fn a_runaway_crac_failure_saturates_at_the_hot_aisle_ceiling() {
+        // A heavily scaled recirculation coefficient pushes the
+        // epoch-to-epoch loop gain (inlet → leakage → rejected heat →
+        // inlet) past one; before the hot-aisle clamp this diverged to
+        // non-finite power instead of settling hot. Hold the failure for
+        // most of a long run and require every temperature to stay
+        // finite and every inlet at or below the ceiling.
+        let mut config = small_config(23);
+        config.duration = SimDuration::from_secs(120);
+        config.chaos = FleetFaultPlan::new().with(
+            SimTime::ZERO + SimDuration::from_secs(2),
+            FleetTarget::Rack(0),
+            FleetFaultKind::Crac {
+                recirc_scale: 4.0,
+                inlet_delta_celsius: 5.0,
+            },
+            None, // permanent failure: worst case
+        );
+        let epochs = config.epochs();
+        let mut fleet = Fleet::new(config);
+        let mut policy = RoundRobin::default();
+        for _ in 0..epochs {
+            fleet.step(&mut policy);
+            assert!(
+                fleet.temps_celsius.iter().all(|t| t.is_finite()),
+                "temperatures must stay finite through a CRAC failure"
+            );
+            assert!(
+                fleet
+                    .machines
+                    .iter()
+                    .all(|m| m.inlet_celsius() <= MAX_CRAC_FAILURE_INLET_CELSIUS),
+                "no inlet may exceed the hot-aisle ceiling"
+            );
+        }
+        let reports = fleet.reports();
+        assert!(reports.iter().all(|r| r.peak_celsius.is_finite()));
     }
 
     #[test]

@@ -98,6 +98,12 @@ pub struct SupervisorConfig {
     /// Replay completed points from an existing journal (`--resume`).
     /// When `false` a pre-existing journal for the sweep is truncated.
     pub resume: bool,
+    /// Whether retries sleep the deterministic linear backoff between
+    /// attempts. The delay only spaces out attempts against transient
+    /// environmental trouble — it never influences results — so the
+    /// default is on for the binaries but off under `cfg(test)`, where
+    /// retried deterministic points would just burn wall-clock.
+    pub backoff: bool,
 }
 
 impl Default for SupervisorConfig {
@@ -109,6 +115,7 @@ impl Default for SupervisorConfig {
             retries: 0,
             journal_dir: None,
             resume: false,
+            backoff: !cfg!(test),
         }
     }
 }
@@ -613,7 +620,7 @@ fn supervise_point(
 ) -> PointOutcome {
     let mut first_error: Option<AttemptError> = None;
     for attempt in 0..=config.retries {
-        if attempt > 0 {
+        if attempt > 0 && config.backoff {
             std::thread::sleep(retry_backoff(attempt));
         }
         match run_attempt(point, index, attempt, config) {
@@ -829,6 +836,24 @@ mod tests {
         let result =
             std::panic::catch_unwind(AssertUnwindSafe(|| run_supervised(&points, &config)));
         assert!(result.is_err(), "strict mode must re-raise the panic");
+    }
+
+    #[test]
+    fn backoff_defaults_off_under_test_so_retries_spin_without_sleeping() {
+        // In the binaries the default is on; under cfg(test) the linear
+        // sleep would only slow deterministic retries down.
+        assert!(!SupervisorConfig::default().backoff);
+        let before = std::time::Instant::now();
+        let config = SupervisorConfig {
+            retries: 10,
+            ..SupervisorConfig::default()
+        };
+        drop(run_supervised(&[poisoned_point(4)], &config));
+        drop(take_incidents());
+        assert!(
+            before.elapsed() < retry_backoff(10),
+            "retries must not sleep the backoff when the knob is off"
+        );
     }
 
     #[test]

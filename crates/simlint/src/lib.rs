@@ -531,7 +531,7 @@ pub fn lint_source_with(
     )];
     let types: Vec<&str> = opts.snapshot_types.iter().map(String::as_str).collect();
     let (mut diagnostics, suppressed) = finish_files(&mut analyses, enabled, &types);
-    diagnostics.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diagnostics.sort_by_key(|d| (d.line, d.rule));
     FileLint {
         diagnostics,
         suppressed,

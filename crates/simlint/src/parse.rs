@@ -360,9 +360,7 @@ impl<'a> Parser<'a> {
             let head = self.t.get(start).map_or("", |t| t.text);
             match head {
                 "cfg" => {
-                    if !self.eval_cfg_group(start + 1, end) {
-                        info.enabled = false;
-                    }
+                    info.enabled &= self.eval_cfg_group(start + 1, end);
                 }
                 "cfg_attr" => {
                     // Collect refs from the condition; never evaluate.
@@ -387,8 +385,7 @@ impl<'a> Parser<'a> {
             return true;
         }
         let mut k = start + 1;
-        let v = self.eval_cfg_expr(&mut k, end);
-        v
+        self.eval_cfg_expr(&mut k, end)
     }
 
     /// Recursive cfg predicate evaluation; `k` advances through tokens.
@@ -524,12 +521,8 @@ impl<'a> Parser<'a> {
             return;
         }
 
-        // `unsafe` prefix: record the site, then parse the underlying item.
-        if self.peek_text(0) == "unsafe"
-            || (self.peek_text(0) == "pub" && false)
-        {
-            // handled below via modifier scan
-        }
+        // An `unsafe` prefix is recorded per item kind below via
+        // `note_unsafe_prefix` while the modifier scan walks forward.
         match kw.as_str() {
             "struct" | "union" => self.parse_struct(&attrs),
             "impl" => {

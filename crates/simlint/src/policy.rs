@@ -127,7 +127,7 @@ pub fn policy_for_crate(dir_name: &str) -> CratePolicy {
         "sched" => &["System", "SystemSnapshot"],
         // The fleet's fork is its `Clone`: every mutable field must be
         // deep-copied (or derive-covered) for a forked fleet to replay.
-        "fleet" => &["Fleet"],
+        "fleet" => &["Fleet", "HealthModel", "ChaosStats"],
         _ => &[],
     };
     CratePolicy {
@@ -181,6 +181,12 @@ mod tests {
             .snapshot_types
             .contains(&"EventQueue"));
         assert!(policy_for_crate("fleet").snapshot_types.contains(&"Fleet"));
+        assert!(policy_for_crate("fleet")
+            .snapshot_types
+            .contains(&"HealthModel"));
+        assert!(policy_for_crate("fleet")
+            .snapshot_types
+            .contains(&"ChaosStats"));
         assert!(policy_for_crate("analysis").snapshot_types.is_empty());
     }
 
