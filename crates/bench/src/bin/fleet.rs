@@ -16,12 +16,25 @@
 //! and writes the availability table to `results/fleet_chaos.csv`. Like
 //! every sweep-shaped binary, output is bit-identical at every `--jobs`
 //! count, and a killed run resumes from its journal with `--resume`
-//! (disable journaling with `--no-journal`).
+//! (disable journaling with `--no-journal`; prune old journals with
+//! `--journal-gc K`).
+//!
+//! The standard comparison also writes durable mid-run checkpoints
+//! under `results/.ckpt/` every 50 control epochs (`--checkpoint-every
+//! N` to change, `--no-checkpoint` to disable). After a kill,
+//! `--restore` resumes each unfinished policy variant from its newest
+//! verifiable checkpoint — corrupt files are skipped, and the restored
+//! run's remaining epochs produce byte-identical CSV to an
+//! uninterrupted run.
 
-use dimetrodon_bench::{apply_common_args, banner, quick_requested, results_dir, write_csv};
+use dimetrodon_bench::{
+    apply_common_args, apply_journal_gc_from_args, banner, checkpoint_args, ckpt_dir,
+    quick_requested, results_dir, write_csv,
+};
 use dimetrodon_fleet::{
-    chaos_comparison, chaos_table, fleet_comparison, fleet_table, ChaosGrid, ChaosJournal,
-    FleetConfig, FleetJournal, DEFAULT_INTENSITIES, QUICK_INTENSITIES, RECOVERY_HYSTERESIS_EPOCHS,
+    chaos_comparison, chaos_table, fleet_comparison_checkpointed, fleet_table, ChaosGrid,
+    ChaosJournal, CheckpointSpec, FleetConfig, FleetJournal, DEFAULT_INTENSITIES,
+    QUICK_INTENSITIES, RECOVERY_HYSTERESIS_EPOCHS,
 };
 
 fn main() -> std::process::ExitCode {
@@ -134,11 +147,34 @@ fn main() -> std::process::ExitCode {
             resume,
         ))
     };
-    let outcomes = fleet_comparison(&config, journal.as_ref());
+    let ckpt = checkpoint_args(&args);
+    let spec = if ckpt.disabled {
+        None
+    } else {
+        let mut spec = CheckpointSpec::new(&ckpt_dir());
+        if let Some(every) = ckpt.every {
+            spec.every_epochs = every;
+        }
+        spec.restore = ckpt.restore;
+        Some(spec)
+    };
+    let outcomes = match fleet_comparison_checkpointed(
+        dimetrodon_harness::sweep::jobs(),
+        &config,
+        journal.as_ref(),
+        spec.as_ref(),
+    ) {
+        Ok(outcomes) => outcomes,
+        Err(err) => {
+            eprintln!("checkpoint restore failed: {err}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
     let replayed = outcomes.iter().filter(|o| o.replayed).count();
     if replayed > 0 {
         println!("[resume: {replayed} policy variant(s) replayed from journal]");
     }
+    apply_journal_gc_from_args(&args, &[config.fingerprint()]);
 
     let table = fleet_table(&outcomes);
     println!("{}", table.render());

@@ -168,6 +168,80 @@ pub fn quick_requested() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Parsed durable-checkpoint flags, shared by checkpoint-aware binaries:
+///
+/// * `--checkpoint-every N` — control epochs (fleet) or events (single
+///   machine) between checkpoint saves, overriding the default cadence;
+/// * `--no-checkpoint` — disable checkpoint saving entirely;
+/// * `--restore` — resume from the newest verifiable checkpoint (falls
+///   back past corrupt files; exits nonzero when none verifies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckpointArgs {
+    /// Explicit `--checkpoint-every` cadence, when given.
+    pub every: Option<u64>,
+    /// Whether `--no-checkpoint` was passed.
+    pub disabled: bool,
+    /// Whether `--restore` was passed.
+    pub restore: bool,
+}
+
+/// Parses the checkpoint flags from an argument list.
+///
+/// # Panics
+///
+/// Panics if `--checkpoint-every` is present without a positive integer
+/// after it, or combined with `--no-checkpoint`.
+pub fn checkpoint_args(args: &[String]) -> CheckpointArgs {
+    let every = args.iter().position(|a| a == "--checkpoint-every").map(|pos| {
+        let n: u64 = args
+            .get(pos + 1)
+            .and_then(|s| s.parse().ok())
+            .expect("--checkpoint-every requires a positive integer");
+        assert!(n > 0, "--checkpoint-every requires a positive integer");
+        n
+    });
+    let disabled = args.iter().any(|a| a == "--no-checkpoint");
+    assert!(
+        !(disabled && every.is_some()),
+        "--checkpoint-every and --no-checkpoint are mutually exclusive"
+    );
+    CheckpointArgs {
+        every,
+        disabled,
+        restore: args.iter().any(|a| a == "--restore"),
+    }
+}
+
+/// The directory durable checkpoints live in (`results/.ckpt/`).
+pub fn ckpt_dir() -> PathBuf {
+    results_dir().join(".ckpt")
+}
+
+/// Applies a `--journal-gc K` argument (if present): keep-last-K
+/// retention over `results/.journal/`, sparing any file named by one of
+/// `active_fingerprints` (the runs this process is using) regardless of
+/// age. Off by default — journals are cheap and resumability is worth
+/// more than the disk.
+///
+/// # Panics
+///
+/// Panics if `--journal-gc` is present without a non-negative integer
+/// after it.
+pub fn apply_journal_gc_from_args(args: &[String], active_fingerprints: &[u64]) {
+    if let Some(pos) = args.iter().position(|a| a == "--journal-gc") {
+        let keep: usize = args
+            .get(pos + 1)
+            .and_then(|s| s.parse().ok())
+            .expect("--journal-gc requires a non-negative keep count");
+        let dir = results_dir().join(".journal");
+        let removed =
+            dimetrodon_harness::supervise::gc_journals(&dir, keep, active_fingerprints);
+        if removed > 0 {
+            println!("[journal-gc: removed {removed} old journal file(s), kept last {keep}]");
+        }
+    }
+}
+
 /// Prints a banner naming the experiment being regenerated.
 pub fn banner(id: &str, caption: &str) {
     println!("================================================================");

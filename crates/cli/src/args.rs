@@ -113,6 +113,17 @@ pub struct Options {
     /// Path of a fleet fault-plan file (`at <t>s machine <m>|rack <r>|all
     /// crash|crac <s> <d>|wedge` lines) injected into a `--fleet` run.
     pub chaos_plan_path: Option<String>,
+    /// Durable-checkpoint cadence: control epochs between saves for
+    /// `--fleet` runs, simulated events for scenario runs. Checkpointing
+    /// is off by default in the CLI; this flag (or `--restore`) turns it
+    /// on.
+    pub checkpoint_every: Option<u64>,
+    /// Never write checkpoints (excludes `--checkpoint-every`).
+    pub no_checkpoint: bool,
+    /// Resume from the newest verifiable checkpoint under
+    /// `results/.ckpt/`, falling back past corrupt files; the run fails
+    /// with a typed error when files exist but none verifies.
+    pub restore: bool,
 }
 
 impl Default for Options {
@@ -141,6 +152,9 @@ impl Default for Options {
             fleet: None,
             fleet_policy: None,
             chaos_plan_path: None,
+            checkpoint_every: None,
+            no_checkpoint: false,
+            restore: false,
         }
     }
 }
@@ -233,6 +247,14 @@ OPTIONS:
                        (`at <t>s machine <m>|rack <r>|all crash |
                        crac <scale> <delta> | wedge`, optionally
                        `for <span>`; directive `on-crash drop|redistribute`)
+    --checkpoint-every <n> write a durable checkpoint to results/.ckpt/
+                       every n control epochs (--fleet) or n simulated
+                       events (scenario runs); corrupt files are detected
+                       by checksum on restore            [default: off]
+    --no-checkpoint    never write checkpoints (excludes --checkpoint-every)
+    --restore          resume from the newest verifiable checkpoint,
+                       falling back past corrupt files; fails with a typed
+                       error when checkpoints exist but none verifies
     --help             print this text
 ";
 
@@ -468,9 +490,34 @@ impl Options {
                 "--chaos-plan" => {
                     options.chaos_plan_path = Some(value_for("--chaos-plan")?);
                 }
+                "--checkpoint-every" => {
+                    let raw = value_for("--checkpoint-every")?;
+                    let n: u64 = raw.parse().map_err(|_| ParseArgsError::BadValue {
+                        flag: "--checkpoint-every",
+                        value: raw.clone(),
+                        expected: "a positive cadence",
+                    })?;
+                    if n == 0 {
+                        return Err(ParseArgsError::BadValue {
+                            flag: "--checkpoint-every",
+                            value: raw,
+                            expected: "a positive cadence",
+                        });
+                    }
+                    options.checkpoint_every = Some(n);
+                }
+                "--no-checkpoint" => options.no_checkpoint = true,
+                "--restore" => options.restore = true,
                 "--help" | "-h" => return Err(ParseArgsError::HelpRequested),
                 other => return Err(ParseArgsError::UnknownFlag(other.to_string())),
             }
+        }
+        if options.no_checkpoint && options.checkpoint_every.is_some() {
+            return Err(ParseArgsError::BadValue {
+                flag: "--no-checkpoint",
+                value: "--checkpoint-every".into(),
+                expected: "at most one of the two flags",
+            });
         }
         Ok(options)
     }
@@ -657,6 +704,24 @@ mod tests {
             Err(ParseArgsError::MissingValue { flag: "--chaos-plan" })
         );
         assert!(USAGE.contains("--chaos-plan"));
+    }
+
+    #[test]
+    fn checkpoint_flags_parse_and_validate() {
+        let o = Options::parse(["--checkpoint-every", "25", "--restore"]).unwrap();
+        assert_eq!(o.checkpoint_every, Some(25));
+        assert!(o.restore && !o.no_checkpoint);
+        let o = Options::parse(["--no-checkpoint"]).unwrap();
+        assert!(o.no_checkpoint && o.checkpoint_every.is_none());
+        assert!(matches!(
+            Options::parse(["--checkpoint-every", "0"]),
+            Err(ParseArgsError::BadValue { flag: "--checkpoint-every", .. })
+        ));
+        assert!(matches!(
+            Options::parse(["--checkpoint-every", "5", "--no-checkpoint"]),
+            Err(ParseArgsError::BadValue { flag: "--no-checkpoint", .. })
+        ));
+        assert!(USAGE.contains("--checkpoint-every") && USAGE.contains("--restore"));
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use dimetrodon_faults::FleetFaultPlan;
 use dimetrodon_fleet::{
-    fleet_comparison, fleet_table, run_fleet, ChaosMetrics, Fleet, FleetConfig, FleetOutcome,
-    PolicyKind,
+    fleet_comparison_checkpointed, fleet_table, run_fleet, run_fleet_checkpointed, ChaosMetrics,
+    CheckpointSpec, Fleet, FleetConfig, FleetOutcome, PolicyKind,
 };
 
 use crate::args::Options;
@@ -50,6 +50,22 @@ pub fn fleet_config(options: &Options) -> Result<FleetConfig, ScenarioError> {
     Ok(config)
 }
 
+/// The durable-checkpoint spec a `--fleet` run uses, or `None` when
+/// checkpointing is off. The CLI checkpoints only on request —
+/// `--checkpoint-every` or `--restore` turns it on, `--no-checkpoint`
+/// forces it off — so plain scenario invocations leave no state behind.
+pub fn fleet_checkpoint_spec(options: &Options) -> Option<CheckpointSpec> {
+    if options.no_checkpoint || (options.checkpoint_every.is_none() && !options.restore) {
+        return None;
+    }
+    let mut spec = CheckpointSpec::new(std::path::Path::new("results/.ckpt"));
+    if let Some(every) = options.checkpoint_every {
+        spec.every_epochs = every;
+    }
+    spec.restore = options.restore;
+    Some(spec)
+}
+
 /// One availability summary line for a policy's chaos run.
 fn chaos_line(name: &str, metrics: &ChaosMetrics) -> String {
     let ttr = if metrics.recoveries > 0 {
@@ -81,7 +97,8 @@ fn chaos_line(name: &str, metrics: &ChaosMetrics) -> String {
 /// # Errors
 ///
 /// Returns [`ScenarioError::Chaos`] when `--chaos-plan` names an
-/// unreadable or invalid plan.
+/// unreadable or invalid plan, and [`ScenarioError::Checkpoint`] when
+/// `--restore` finds checkpoint files but none verifies.
 pub fn run_fleet_scenario(options: &Options) -> Result<String, ScenarioError> {
     let config = fleet_config(options)?;
     let kinds: Vec<PolicyKind> = match options.fleet_policy {
@@ -90,16 +107,30 @@ pub fn run_fleet_scenario(options: &Options) -> Result<String, ScenarioError> {
     };
     let mut chaos_lines = Vec::new();
     let outcomes: Vec<FleetOutcome> = if config.chaos.is_empty() {
+        // Chaos runs never checkpoint: their availability metrics live
+        // outside the fleet state the checkpoint captures.
+        let spec = fleet_checkpoint_spec(options);
         match options.fleet_policy {
             Some(kind) => {
                 let mut policy = kind.build(&config);
+                let reports = match spec.as_ref() {
+                    Some(spec) => run_fleet_checkpointed(&config, policy.as_mut(), spec)
+                        .map_err(|e| ScenarioError::Checkpoint(e.to_string()))?,
+                    None => run_fleet(&config, policy.as_mut()),
+                };
                 vec![FleetOutcome {
                     policy: kind,
-                    reports: run_fleet(&config, policy.as_mut()),
+                    reports,
                     replayed: false,
                 }]
             }
-            None => fleet_comparison(&config, None),
+            None => fleet_comparison_checkpointed(
+                dimetrodon_harness::sweep::jobs(),
+                &config,
+                None,
+                spec.as_ref(),
+            )
+            .map_err(|e| ScenarioError::Checkpoint(e.to_string()))?,
         }
     } else {
         // Chaos runs drive the fleet directly so the availability metrics

@@ -22,5 +22,5 @@ mod fleet;
 mod report;
 
 pub use args::{Options, ParseArgsError, SchedulerChoice, WorkloadChoice, USAGE};
-pub use fleet::{compared_policies, fleet_config, run_fleet_scenario};
+pub use fleet::{compared_policies, fleet_checkpoint_spec, fleet_config, run_fleet_scenario};
 pub use report::{run_scenario, supervisor_config, Report, ScenarioError};

@@ -27,12 +27,14 @@
 
 #![warn(missing_docs)]
 
+mod ckpt_torture;
 mod fleet_plan;
 mod hook;
 mod plan;
 mod sensor;
 mod telemetry;
 
+pub use ckpt_torture::{corruptions, torture_checkpoint, Corruption, TortureReport};
 pub use fleet_plan::{
     CrashBacklog, FleetFaultEvent, FleetFaultKind, FleetFaultPlan, FleetTarget,
 };

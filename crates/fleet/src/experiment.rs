@@ -10,8 +10,10 @@
 //! instead of recomputing them — byte-identical output either way.
 
 use dimetrodon_analysis::Table;
+use dimetrodon_ckpt::CkptError;
 use dimetrodon_harness::sweep::{jobs, parallel_map_with};
 
+use crate::ckpt::{run_fleet_checkpointed, CheckpointSpec};
 use crate::config::FleetConfig;
 use crate::journal::FleetJournal;
 use crate::policy::PolicyKind;
@@ -43,27 +45,55 @@ pub fn fleet_comparison_with(
     config: &FleetConfig,
     journal: Option<&FleetJournal>,
 ) -> Vec<FleetOutcome> {
+    fleet_comparison_checkpointed(workers, config, journal, None)
+        // simlint::allow(R1): with `spec = None` no checkpoint I/O ever runs
+        .expect("infallible without a checkpoint spec")
+}
+
+/// [`fleet_comparison_with`] with durable mid-run checkpointing: each
+/// policy variant saves its fleet + policy state every
+/// [`CheckpointSpec::every_epochs`](crate::CheckpointSpec::every_epochs)
+/// control epochs and, with restore enabled, resumes from the newest
+/// verifiable checkpoint. Journal replay still wins over restore — a
+/// *finished* variant never re-runs at all.
+///
+/// # Errors
+///
+/// Returns the first variant's [`CkptError`] when restore is requested
+/// and that variant's checkpoint files exist but none verifies (or the
+/// one that does was written by a different config). `spec = None` is
+/// exactly the plain comparison and never errors.
+pub fn fleet_comparison_checkpointed(
+    workers: usize,
+    config: &FleetConfig,
+    journal: Option<&FleetJournal>,
+    spec: Option<&CheckpointSpec>,
+) -> Result<Vec<FleetOutcome>, CkptError> {
     config.validate();
-    parallel_map_with(workers, PolicyKind::ALL.len(), |variant| {
+    let outcomes = parallel_map_with(workers, PolicyKind::ALL.len(), |variant| {
         let kind = PolicyKind::ALL[variant];
         if let Some(reports) = journal.and_then(|j| j.replayed(variant)) {
-            return FleetOutcome {
+            return Ok(FleetOutcome {
                 policy: kind,
                 reports,
                 replayed: true,
-            };
+            });
         }
         let mut policy = kind.build(config);
-        let reports = run_fleet(config, policy.as_mut());
+        let reports = match spec {
+            Some(spec) => run_fleet_checkpointed(config, policy.as_mut(), spec)?,
+            None => run_fleet(config, policy.as_mut()),
+        };
         if let Some(journal) = journal {
             journal.append(variant, kind.name(), &reports);
         }
-        FleetOutcome {
+        Ok(FleetOutcome {
             policy: kind,
             reports,
             replayed: false,
-        }
-    })
+        })
+    });
+    outcomes.into_iter().collect()
 }
 
 /// The comparison as a table, one row per (policy, rack) — the shape of

@@ -49,6 +49,29 @@ pub struct HealthModel {
     epoch: u64,
 }
 
+impl HealthState {
+    /// The checkpoint tag byte for this state.
+    pub(crate) fn encode_tag(self) -> u8 {
+        match self {
+            HealthState::Up => 0,
+            HealthState::Degraded => 1,
+            HealthState::Down => 2,
+        }
+    }
+
+    /// The state for a checkpoint tag byte.
+    pub(crate) fn from_tag(tag: u8) -> Result<Self, dimetrodon_ckpt::CkptError> {
+        match tag {
+            0 => Ok(HealthState::Up),
+            1 => Ok(HealthState::Degraded),
+            2 => Ok(HealthState::Down),
+            other => Err(dimetrodon_ckpt::CkptError::Malformed(format!(
+                "unknown health-state tag {other}"
+            ))),
+        }
+    }
+}
+
 impl HealthModel {
     /// A model for `machines` machines, all initially up.
     pub fn new(machines: usize, timeout_epochs: u64) -> HealthModel {
@@ -60,6 +83,78 @@ impl HealthModel {
             recovery_epochs: Vec::new(),
             epoch: 0,
         }
+    }
+
+    /// Serializes the full model (heartbeat ages, advertised states,
+    /// outage bookkeeping) for a durable checkpoint.
+    pub fn encode_state(&self, enc: &mut dimetrodon_ckpt::Enc) {
+        enc.u64(self.timeout_epochs);
+        enc.u64_slice(&self.heartbeat_age);
+        enc.seq_len(self.states.len());
+        for state in &self.states {
+            enc.u8(state.encode_tag());
+        }
+        enc.seq_len(self.down_since.len());
+        for since in &self.down_since {
+            match since {
+                Some(epoch) => {
+                    enc.u8(1);
+                    enc.u64(*epoch);
+                }
+                None => enc.u8(0),
+            }
+        }
+        enc.u64_slice(&self.recovery_epochs);
+        enc.u64(self.epoch);
+    }
+
+    /// Rebuilds a model from [`encode_state`](Self::encode_state) bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`dimetrodon_ckpt::CkptError`] on a short payload, an
+    /// unknown state tag, or per-machine vectors that disagree in length.
+    pub fn decode_state(
+        dec: &mut dimetrodon_ckpt::Dec<'_>,
+    ) -> Result<Self, dimetrodon_ckpt::CkptError> {
+        let timeout_epochs = dec.u64()?;
+        let heartbeat_age = dec.u64_vec()?;
+        let n = dec.seq_len()?;
+        let mut states = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            states.push(HealthState::from_tag(dec.u8()?)?);
+        }
+        let n = dec.seq_len()?;
+        let mut down_since = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            down_since.push(match dec.u8()? {
+                0 => None,
+                1 => Some(dec.u64()?),
+                tag => {
+                    return Err(dimetrodon_ckpt::CkptError::Malformed(format!(
+                        "unknown down-since tag {tag}"
+                    )))
+                }
+            });
+        }
+        let recovery_epochs = dec.u64_vec()?;
+        let epoch = dec.u64()?;
+        if states.len() != heartbeat_age.len() || down_since.len() != heartbeat_age.len() {
+            return Err(dimetrodon_ckpt::CkptError::Malformed(format!(
+                "health model with {} ages, {} states, {} down-since entries",
+                heartbeat_age.len(),
+                states.len(),
+                down_since.len()
+            )));
+        }
+        Ok(HealthModel {
+            timeout_epochs,
+            heartbeat_age,
+            states,
+            down_since,
+            recovery_epochs,
+            epoch,
+        })
     }
 
     /// Feeds one epoch's ground truth: `alive[m]` is whether machine `m`

@@ -34,6 +34,7 @@
 #![warn(missing_debug_implementations)]
 
 mod chaos;
+mod ckpt;
 mod config;
 mod experiment;
 mod health;
@@ -45,8 +46,14 @@ pub use chaos::{
     chaos_comparison, chaos_comparison_with, chaos_table, ChaosGrid, ChaosOutcome,
     DEFAULT_INTENSITIES, QUICK_INTENSITIES, RECOVERY_HYSTERESIS_EPOCHS,
 };
+pub use ckpt::{
+    run_fleet_checkpointed, CheckpointSpec, DEFAULT_CHECKPOINT_EVERY, DEFAULT_CHECKPOINT_KEEP,
+};
 pub use config::FleetConfig;
-pub use experiment::{fleet_comparison, fleet_comparison_with, fleet_table, FleetOutcome};
+pub use experiment::{
+    fleet_comparison, fleet_comparison_checkpointed, fleet_comparison_with, fleet_table,
+    FleetOutcome,
+};
 pub use health::{HealthModel, HealthState};
 pub use journal::{chaos_journal_path, journal_path, ChaosJournal, FleetJournal};
 pub use policy::{

@@ -48,6 +48,25 @@ pub trait RoutePolicy {
     fn route(&mut self, tenant: usize, view: &FleetView<'_>) -> usize;
     /// End-of-epoch hook; default does nothing.
     fn end_epoch(&mut self, _view: &FleetView<'_>) {}
+    /// Appends the policy's mutable routing state to a checkpoint frame.
+    /// Stateless policies keep the default no-op; stateful ones must
+    /// write everything a restored run needs to continue bit-identically
+    /// (cursors, pinning tables, hysteresis latches).
+    fn save_state(&self, _enc: &mut dimetrodon_ckpt::Enc) {}
+    /// Restores the state written by [`save_state`](RoutePolicy::save_state)
+    /// into a freshly built policy of the same kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`dimetrodon_ckpt::CkptError`] when the payload is short
+    /// or shaped for a different fleet; implementations never panic on
+    /// corrupt input.
+    fn restore_state(
+        &mut self,
+        _dec: &mut dimetrodon_ckpt::Dec<'_>,
+    ) -> Result<(), dimetrodon_ckpt::CkptError> {
+        Ok(())
+    }
 }
 
 /// Index of the smallest value over routable machines, lowest index on
@@ -111,6 +130,21 @@ impl RoutePolicy for RoundRobin {
         }
         self.next = (chosen + 1) % n;
         chosen
+    }
+
+    fn save_state(&self, enc: &mut dimetrodon_ckpt::Enc) {
+        enc.u64(self.next as u64);
+    }
+
+    fn restore_state(
+        &mut self,
+        dec: &mut dimetrodon_ckpt::Dec<'_>,
+    ) -> Result<(), dimetrodon_ckpt::CkptError> {
+        let next = dec.u64()?;
+        self.next = usize::try_from(next).map_err(|_| {
+            dimetrodon_ckpt::CkptError::Malformed(format!("round-robin cursor {next} overflows"))
+        })?;
+        Ok(())
     }
 }
 
@@ -227,6 +261,39 @@ impl RoutePolicy for PinnedMigrate {
             self.migrations += 1;
         }
     }
+
+    fn save_state(&self, enc: &mut dimetrodon_ckpt::Enc) {
+        enc.seq_len(self.home.len());
+        for &home in &self.home {
+            enc.u64(home as u64);
+        }
+        enc.u64(self.migrations);
+    }
+
+    fn restore_state(
+        &mut self,
+        dec: &mut dimetrodon_ckpt::Dec<'_>,
+    ) -> Result<(), dimetrodon_ckpt::CkptError> {
+        let tenants = dec.seq_len()?;
+        if tenants != self.home.len() {
+            return Err(dimetrodon_ckpt::CkptError::Malformed(format!(
+                "pinned-migrate table for {tenants} tenants restored into a {}-tenant fleet",
+                self.home.len()
+            )));
+        }
+        let mut home = Vec::with_capacity(tenants);
+        for _ in 0..tenants {
+            let machine = dec.u64()?;
+            home.push(usize::try_from(machine).map_err(|_| {
+                dimetrodon_ckpt::CkptError::Malformed(format!(
+                    "pinned-migrate home machine {machine} overflows"
+                ))
+            })?);
+        }
+        self.home = home;
+        self.migrations = dec.u64()?;
+        Ok(())
+    }
 }
 
 impl<P: RoutePolicy + ?Sized> RoutePolicy for Box<P> {
@@ -240,6 +307,17 @@ impl<P: RoutePolicy + ?Sized> RoutePolicy for Box<P> {
 
     fn end_epoch(&mut self, view: &FleetView<'_>) {
         (**self).end_epoch(view);
+    }
+
+    fn save_state(&self, enc: &mut dimetrodon_ckpt::Enc) {
+        (**self).save_state(enc);
+    }
+
+    fn restore_state(
+        &mut self,
+        dec: &mut dimetrodon_ckpt::Dec<'_>,
+    ) -> Result<(), dimetrodon_ckpt::CkptError> {
+        (**self).restore_state(dec)
     }
 }
 
@@ -358,6 +436,41 @@ impl<P: RoutePolicy> RoutePolicy for FailoverPolicy<P> {
         };
         self.inner.end_epoch(&masked);
         self.tracked_this_epoch = false;
+    }
+
+    fn save_state(&self, enc: &mut dimetrodon_ckpt::Enc) {
+        enc.seq_len(self.effective.len());
+        for &state in &self.effective {
+            enc.u8(state.encode_tag());
+        }
+        enc.u64_slice(&self.up_streak);
+        enc.bool(self.tracked_this_epoch);
+        enc.u64(self.holds);
+        self.inner.save_state(enc);
+    }
+
+    fn restore_state(
+        &mut self,
+        dec: &mut dimetrodon_ckpt::Dec<'_>,
+    ) -> Result<(), dimetrodon_ckpt::CkptError> {
+        let machines = dec.seq_len()?;
+        let mut effective = Vec::with_capacity(machines.min(1 << 20));
+        for _ in 0..machines {
+            effective.push(HealthState::from_tag(dec.u8()?)?);
+        }
+        let up_streak = dec.u64_vec()?;
+        if up_streak.len() != effective.len() {
+            return Err(dimetrodon_ckpt::CkptError::Malformed(format!(
+                "failover wrapper with {} effective states but {} up-streaks",
+                effective.len(),
+                up_streak.len()
+            )));
+        }
+        self.effective = effective;
+        self.up_streak = up_streak;
+        self.tracked_this_epoch = dec.bool()?;
+        self.holds = dec.u64()?;
+        self.inner.restore_state(dec)
     }
 }
 

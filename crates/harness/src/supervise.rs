@@ -418,6 +418,50 @@ pub fn journal_path(dir: &Path, sweep_fingerprint: u64) -> PathBuf {
     dir.join(format!("sweep-{sweep_fingerprint:016x}.journal"))
 }
 
+/// Keep-last-K retention for the journal directory (`--journal-gc K`):
+/// deletes `*.journal` files beyond the `keep` most recently modified,
+/// except that a file whose name embeds any of `active_fingerprints`
+/// (the hex forms every journal family uses) is **never** deleted, no
+/// matter how old — garbage collection must not eat the journal the
+/// current run is appending to or about to resume from. Returns how
+/// many files were removed; all I/O errors are best-effort skips, so a
+/// GC pass can never fail a run.
+pub fn gc_journals(dir: &Path, keep: usize, active_fingerprints: &[u64]) -> usize {
+    let active: Vec<String> = active_fingerprints
+        .iter()
+        .map(|fp| format!("{fp:016x}"))
+        .collect();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    // simlint::allow(D1): file mtimes order GC candidates only; no
+    // simulated result ever observes them.
+    let mut journals: Vec<(std::time::SystemTime, PathBuf)> = entries
+        .flatten()
+        .filter_map(|entry| {
+            let path = entry.path();
+            let name = path.file_name()?.to_str()?;
+            if !name.ends_with(".journal") {
+                return None;
+            }
+            if active.iter().any(|hex| name.contains(hex.as_str())) {
+                return None;
+            }
+            let modified = entry.metadata().ok()?.modified().ok()?;
+            Some((modified, path))
+        })
+        .collect();
+    // Newest first; ties break on the path so the order is total.
+    journals.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    let mut removed = 0;
+    for (_, path) in journals.into_iter().skip(keep) {
+        if std::fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
 /// Loads every decodable entry of a journal file; keyed by point
 /// fingerprint, later entries win. A missing file is an empty journal.
 fn load_journal(path: &Path) -> std::collections::BTreeMap<u64, RunOutcome> {
@@ -972,5 +1016,43 @@ mod tests {
         let entries = text.lines().filter(|l| l.starts_with("point")).count();
         assert_eq!(entries, 1, "truncation must discard the first run");
         drop(std::fs::remove_dir_all(&dir));
+    }
+
+    #[test]
+    fn journal_gc_keeps_last_k_and_never_deletes_active_fingerprints() {
+        let dir = std::env::temp_dir().join(format!("dimetrodon-journal-gc-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("create dir");
+        let active_fp: u64 = 0xA11CE;
+        // The active journal is the OLDEST file — worst case for an
+        // mtime-ordered GC.
+        let mut paths = vec![journal_path(&dir, active_fp)];
+        for fp in 1..=4u64 {
+            paths.push(dir.join(format!("fleet-{fp:016x}.journal")));
+        }
+        paths.push(dir.join("not-a-journal.txt"));
+        let base = std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1_000_000);
+        for (age, path) in paths.iter().enumerate() {
+            std::fs::write(path, "journal\n").expect("write");
+            let file = std::fs::File::options().write(true).open(path).expect("open");
+            file.set_modified(base + std::time::Duration::from_secs(age as u64))
+                .expect("set mtime");
+        }
+
+        let removed = gc_journals(&dir, 2, &[active_fp]);
+        assert_eq!(removed, 2, "4 inactive journals, keep 2");
+        assert!(
+            journal_path(&dir, active_fp).exists(),
+            "GC must never delete the active fingerprint's journal"
+        );
+        assert!(dir.join("not-a-journal.txt").exists(), "non-journals untouched");
+        // The two newest inactive journals survive, the two oldest are gone.
+        assert!(!dir.join(format!("fleet-{:016x}.journal", 1u64)).exists());
+        assert!(!dir.join(format!("fleet-{:016x}.journal", 2u64)).exists());
+        assert!(dir.join(format!("fleet-{:016x}.journal", 3u64)).exists());
+        assert!(dir.join(format!("fleet-{:016x}.journal", 4u64)).exists());
+
+        assert_eq!(gc_journals(&dir, 2, &[active_fp]), 0, "GC is idempotent");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -192,6 +192,93 @@ pub struct MachineSnapshot {
     energy: EnergyMeter,
 }
 
+impl MachineSnapshot {
+    /// Serializes the snapshot for a durable checkpoint, composing the
+    /// thermal, power, and energy codecs.
+    pub fn encode_state(&self, enc: &mut dimetrodon_ckpt::Enc) {
+        self.network.encode_state(enc);
+        enc.seq_len(self.core_states.len());
+        for state in &self.core_states {
+            state.encode_state(enc);
+        }
+        enc.u64(self.pstate.0 as u64);
+        enc.seq_len(self.core_pstates.len());
+        for pstate in &self.core_pstates {
+            match pstate {
+                Some(id) => {
+                    enc.u8(1);
+                    enc.u64(id.0 as u64);
+                }
+                None => enc.u8(0),
+            }
+        }
+        enc.f64(self.tcc_duty);
+        enc.bool(self.throttled);
+        enc.bool(self.tripped);
+        enc.u64(self.trip_count);
+        enc.u64(self.clock.as_nanos());
+        enc.u64(self.tripped_at.as_nanos());
+        self.energy.encode_state(enc);
+    }
+
+    /// Rebuilds a snapshot from [`encode_state`](Self::encode_state)
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`dimetrodon_ckpt::CkptError`] on a short payload, a bad
+    /// tag, or mismatched per-core vector lengths — never a panic, so a
+    /// corrupt checkpoint that slipped past framing still cannot take the
+    /// process down.
+    pub fn decode_state(
+        dec: &mut dimetrodon_ckpt::Dec<'_>,
+    ) -> Result<Self, dimetrodon_ckpt::CkptError> {
+        let network = ThermalSnapshot::decode_state(dec)?;
+        let threads = dec.seq_len()?;
+        let mut core_states = Vec::with_capacity(threads.min(1 << 16));
+        for _ in 0..threads {
+            core_states.push(CoreState::decode_state(dec)?);
+        }
+        let pstate = PStateId(dec.u64()? as usize);
+        let cores = dec.seq_len()?;
+        let mut core_pstates = Vec::with_capacity(cores.min(1 << 16));
+        for _ in 0..cores {
+            core_pstates.push(match dec.u8()? {
+                0 => None,
+                1 => Some(PStateId(dec.u64()? as usize)),
+                tag => {
+                    return Err(dimetrodon_ckpt::CkptError::Malformed(format!(
+                        "unknown per-core pstate tag {tag}"
+                    )))
+                }
+            });
+        }
+        Ok(MachineSnapshot {
+            network,
+            core_states,
+            pstate,
+            core_pstates,
+            tcc_duty: dec.f64()?,
+            throttled: dec.bool()?,
+            tripped: dec.bool()?,
+            trip_count: dec.u64()?,
+            clock: SimDuration::from_nanos(dec.u64()?),
+            tripped_at: SimDuration::from_nanos(dec.u64()?),
+            energy: EnergyMeter::decode_state(dec)?,
+        })
+    }
+
+    /// Whether this snapshot's shape (thermal nodes, thread and core
+    /// counts) matches the machine it would restore onto — the check
+    /// [`Machine::restore`] asserts, exposed so load paths can reject a
+    /// decoded-but-wrong-shape snapshot with a typed error instead.
+    pub fn shape_matches(&self, machine: &Machine) -> bool {
+        self.network.node_count() == machine.network.node_count()
+            && self.core_states.len() == machine.core_states.len()
+            && self.core_pstates.len() == machine.core_pstates.len()
+    }
+}
+
 impl Machine {
     /// Builds a machine from a configuration.
     ///

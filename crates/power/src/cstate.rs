@@ -97,6 +97,51 @@ impl CoreState {
     pub fn is_active(self) -> bool {
         matches!(self, CoreState::Active { .. })
     }
+
+    /// Serializes the state as a tag byte (plus the activity factor's
+    /// IEEE-754 bits for `Active`) for a durable checkpoint.
+    pub fn encode_state(self, enc: &mut dimetrodon_ckpt::Enc) {
+        match self {
+            CoreState::Active { activity } => {
+                enc.u8(0);
+                enc.f64(activity.value());
+            }
+            CoreState::IdleC1e => enc.u8(1),
+            CoreState::IdleC6 => enc.u8(2),
+            CoreState::IdleNop => enc.u8(3),
+        }
+    }
+
+    /// Rebuilds a state from [`encode_state`](Self::encode_state) bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`dimetrodon_ckpt::CkptError`] on a short payload, an
+    /// unknown tag, or an activity outside `[0, 1]` — decode never
+    /// panics, even on corrupt input.
+    pub fn decode_state(
+        dec: &mut dimetrodon_ckpt::Dec<'_>,
+    ) -> Result<Self, dimetrodon_ckpt::CkptError> {
+        match dec.u8()? {
+            0 => {
+                let value = dec.f64()?;
+                if !(0.0..=1.0).contains(&value) {
+                    return Err(dimetrodon_ckpt::CkptError::Malformed(format!(
+                        "activity factor {value} outside [0, 1]"
+                    )));
+                }
+                Ok(CoreState::Active {
+                    activity: Activity(value),
+                })
+            }
+            1 => Ok(CoreState::IdleC1e),
+            2 => Ok(CoreState::IdleC6),
+            3 => Ok(CoreState::IdleNop),
+            tag => Err(dimetrodon_ckpt::CkptError::Malformed(format!(
+                "unknown core-state tag {tag}"
+            ))),
+        }
+    }
 }
 
 #[cfg(test)]

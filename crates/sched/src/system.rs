@@ -477,6 +477,32 @@ impl System {
         self.advance_to(t);
     }
 
+    /// Dispatches at most `max_events` events at or before `deadline`
+    /// and returns how many actually ran. The pop/advance/dispatch loop
+    /// is the same one [`run_until`](Self::run_until) uses, so a run
+    /// chunked through `run_events` (checkpointing between chunks) and
+    /// finished with `run_until(deadline)` is bit-identical to a single
+    /// uninterrupted `run_until(deadline)`.
+    ///
+    /// A return value smaller than `max_events` means the queue holds no
+    /// more events at or before the deadline; the machine model has
+    /// *not* been advanced to the deadline yet — that is
+    /// `run_until(deadline)`'s closing step.
+    pub fn run_events(&mut self, max_events: u64, deadline: SimTime) -> u64 {
+        let mut dispatched = 0;
+        while dispatched < max_events {
+            match self.queue.pop_at_or_before(deadline) {
+                Some(scheduled) => {
+                    self.advance_to(scheduled.at);
+                    self.dispatch(scheduled.event);
+                    dispatched += 1;
+                }
+                None => break,
+            }
+        }
+        dispatched
+    }
+
     /// Runs until every thread in `ids` has exited or `deadline` passes.
     /// Returns `true` if all exited.
     pub fn run_until_exited(&mut self, ids: &[ThreadId], deadline: SimTime) -> bool {

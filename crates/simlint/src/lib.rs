@@ -65,6 +65,9 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Total suppressions honored across all files.
     pub suppressed: usize,
+    /// The computed hash of the workspace's S1-governed snapshot field
+    /// sets, when the S2 checkpoint guard ran (`--ckpt-hash` prints it).
+    pub ckpt_fields_hash: Option<u64>,
 }
 
 impl Report {
@@ -593,6 +596,9 @@ fn excluded_mod_files(analyses: &[FileAnalysis]) -> (Vec<PathBuf>, Vec<PathBuf>)
 
 /// Analyzes one crate's `src/` tree: reads, parses, applies per-file and
 /// crate-level rules, and drops files gated out by the cfg view.
+///
+/// `field_sets` accumulates this crate's S1-governed snapshot field sets
+/// for the workspace-level S2 checkpoint guard.
 #[allow(clippy::too_many_arguments)]
 fn lint_crate_sources(
     root: &Path,
@@ -602,6 +608,7 @@ fn lint_crate_sources(
     declared: &BTreeSet<String>,
     view: &CfgView,
     report: &mut Report,
+    field_sets: &mut Vec<SnapshotFieldSet>,
 ) -> Result<(), String> {
     let mut files = Vec::new();
     collect_rs_files(src, &mut files)?;
@@ -636,6 +643,26 @@ fn lint_crate_sources(
         !exact.contains(&a.path) && !prefixes.iter().any(|p| a.path.starts_with(p))
     });
     report.files_scanned += analyses.len();
+    for &ty in pol.snapshot_types {
+        let Some(sdef) = analyses
+            .iter()
+            .find_map(|a| a.syntax.structs.iter().find(|s| s.name == ty))
+        else {
+            continue; // S1 reports the missing definition.
+        };
+        let mut fields: Vec<String> = sdef
+            .fields
+            .iter()
+            .filter(|f| !f.shared)
+            .map(|f| f.name.clone())
+            .collect();
+        fields.sort();
+        field_sets.push(SnapshotFieldSet {
+            crate_name: pol.name.to_string(),
+            type_name: ty.to_string(),
+            fields,
+        });
+    }
     let (diags, suppressed) = finish_files(&mut analyses, pol.rules, pol.snapshot_types);
     report.suppressed += suppressed;
     report.diagnostics.extend(diags);
@@ -698,6 +725,177 @@ pub fn check_feature_forwarding(
     }
 }
 
+/// One S1-governed snapshot type's copied field set, collected during the
+/// workspace scan for the S2 checkpoint version-bump guard.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SnapshotFieldSet {
+    /// Crate directory name under `crates/`.
+    pub crate_name: String,
+    /// The snapshot-protocol type the fields belong to.
+    pub type_name: String,
+    /// Its copied (non-`simlint::shared`) field names, sorted.
+    pub fields: Vec<String>,
+}
+
+/// FNV-1a 64-bit. simlint keeps its own copy so the guard stays
+/// dependency-free; the constants match the ckpt crate's checksum.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The canonical hash of the workspace's S1-governed snapshot field sets:
+/// FNV-1a64 over sorted `crate/type.field` lines. Shared (`simlint::shared`)
+/// fields are excluded — they never reach an encoder.
+pub fn snapshot_fields_hash(sets: &[SnapshotFieldSet]) -> u64 {
+    let mut sorted: Vec<&SnapshotFieldSet> = sets.iter().collect();
+    sorted.sort();
+    let mut text = String::new();
+    for set in sorted {
+        for field in &set.fields {
+            text.push_str(&set.crate_name);
+            text.push('/');
+            text.push_str(&set.type_name);
+            text.push('.');
+            text.push_str(field);
+            text.push('\n');
+        }
+    }
+    fnv1a64(text.as_bytes())
+}
+
+/// A parsed `// simlint::ckpt_pin(version = N, fields = 0x…)` comment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CkptPin {
+    /// 1-based line the pin comment is on.
+    pub line: usize,
+    /// The `CKPT_FORMAT_VERSION` the pin was written for.
+    pub version: u64,
+    /// The snapshot-field-set hash recorded at that version.
+    pub fields: u64,
+}
+
+/// Extracts the `simlint::ckpt_pin(...)` comment from a source file.
+pub fn parse_ckpt_pin(source: &str) -> Option<CkptPin> {
+    for (idx, cl) in scan::clean_source(source).iter().enumerate() {
+        let Some(pos) = cl.comment.find("simlint::ckpt_pin(") else {
+            continue;
+        };
+        let args = &cl.comment[pos + "simlint::ckpt_pin(".len()..];
+        let Some(close) = args.find(')') else { continue };
+        let mut version = None;
+        let mut fields = None;
+        for part in args[..close].split(',') {
+            let Some((key, value)) = part.split_once('=') else {
+                continue;
+            };
+            match key.trim() {
+                "version" => version = value.trim().parse::<u64>().ok(),
+                "fields" => {
+                    fields = value
+                        .trim()
+                        .strip_prefix("0x")
+                        .and_then(|h| u64::from_str_radix(&h.replace('_', ""), 16).ok());
+                }
+                _ => {}
+            }
+        }
+        if let (Some(version), Some(fields)) = (version, fields) {
+            return Some(CkptPin {
+                line: idx + 1,
+                version,
+                fields,
+            });
+        }
+    }
+    None
+}
+
+/// Finds the `const CKPT_FORMAT_VERSION` declaration and its value,
+/// returning `(line, value)`.
+fn parse_ckpt_version(source: &str) -> Option<(usize, u64)> {
+    for (idx, cl) in scan::clean_source(source).iter().enumerate() {
+        let Some(pos) = cl.code.find("const CKPT_FORMAT_VERSION") else {
+            continue;
+        };
+        let rest = &cl.code[pos..];
+        let Some(eq) = rest.find('=') else { continue };
+        let digits: String = rest[eq + 1..]
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit() || *c == '_')
+            .collect();
+        if let Ok(value) = digits.replace('_', "").parse::<u64>() {
+            return Some((idx + 1, value));
+        }
+    }
+    None
+}
+
+/// S2: the checkpoint version-bump guard over the ckpt crate's source.
+///
+/// `computed` is [`snapshot_fields_hash`] over the live workspace. Three
+/// ways to fire: no parsable pin/version at all, a pin recording a version
+/// other than the current `CKPT_FORMAT_VERSION` (stale pin), or — the case
+/// the rule exists for — the field-set hash changing while the format
+/// version did not (someone altered replay state without bumping).
+///
+/// Public so the self-tests can exercise the guard on fixture sources.
+pub fn check_ckpt_pin(label: &str, source: &str, computed: u64) -> Vec<Diagnostic> {
+    let pin = parse_ckpt_pin(source);
+    let version = parse_ckpt_version(source);
+    let (Some(pin), Some((version_line, version))) = (pin, version) else {
+        let missing = match (pin, version) {
+            (None, None) => "neither a `simlint::ckpt_pin(...)` comment nor a `const \
+                             CKPT_FORMAT_VERSION` declaration",
+            (None, _) => "a `simlint::ckpt_pin(version = N, fields = 0x...)` comment",
+            _ => "a `const CKPT_FORMAT_VERSION` declaration",
+        };
+        return vec![Diagnostic {
+            file: label.to_string(),
+            line: 1,
+            rule: Rule::S2,
+            message: format!(
+                "checkpoint guard cannot run: this crate is missing {missing}; pin the \
+                 current snapshot field sets as `simlint::ckpt_pin(version = <N>, fields = \
+                 0x{computed:016x})`"
+            ),
+        }];
+    };
+    if pin.version != version {
+        return vec![Diagnostic {
+            file: label.to_string(),
+            line: pin.line,
+            rule: Rule::S2,
+            message: format!(
+                "stale ckpt_pin: CKPT_FORMAT_VERSION is {version} but the pin records \
+                 version {}; re-pin as `simlint::ckpt_pin(version = {version}, fields = \
+                 0x{computed:016x})`",
+                pin.version
+            ),
+        }];
+    }
+    if pin.fields != computed {
+        return vec![Diagnostic {
+            file: label.to_string(),
+            line: version_line,
+            rule: Rule::S2,
+            message: format!(
+                "snapshot field sets changed without a format-version bump: the workspace's \
+                 S1-governed fields hash to 0x{computed:016x} but the pin records \
+                 0x{:016x} at the same version {version}; bump CKPT_FORMAT_VERSION and \
+                 re-pin with the new hash",
+                pin.fields
+            ),
+        }];
+    }
+    Vec::new()
+}
+
 /// Lints every governed source file in the workspace rooted at `root`,
 /// under the default cfg view (no features enabled).
 pub fn lint_workspace(root: &Path) -> Result<Report, String> {
@@ -716,6 +914,8 @@ pub fn lint_workspace_with(root: &Path, view: &CfgView) -> Result<Report, String
     let mut report = Report::default();
     // (workspace-relative Cargo.toml label, parsed manifest, F1 enabled)
     let mut manifests: Vec<(String, manifest::Manifest, bool)> = Vec::new();
+    let mut field_sets: Vec<SnapshotFieldSet> = Vec::new();
+    let mut ckpt_lib: Option<PathBuf> = None;
 
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
@@ -753,6 +953,9 @@ pub fn lint_workspace_with(root: &Path, view: &CfgView) -> Result<Report, String
         if !src.is_dir() {
             continue;
         }
+        if pol.rules.contains(&Rule::S2) {
+            ckpt_lib = Some(src.join("lib.rs"));
+        }
         lint_crate_sources(
             root,
             &src,
@@ -761,6 +964,7 @@ pub fn lint_workspace_with(root: &Path, view: &CfgView) -> Result<Report, String
             &declared,
             view,
             &mut report,
+            &mut field_sets,
         )?;
     }
 
@@ -783,10 +987,33 @@ pub fn lint_workspace_with(root: &Path, view: &CfgView) -> Result<Report, String
         ));
     }
     if facade_src.is_dir() {
-        lint_crate_sources(root, &facade_src, "src/", &facade_pol, &declared, view, &mut report)?;
+        lint_crate_sources(
+            root,
+            &facade_src,
+            "src/",
+            &facade_pol,
+            &declared,
+            view,
+            &mut report,
+            &mut field_sets,
+        )?;
     }
 
     check_feature_forwarding(&manifests, &mut report);
+
+    // S2: the checkpoint version-bump guard, once the whole workspace's
+    // snapshot field sets are in hand. Like feature forwarding, this is a
+    // workspace-level pass — its findings are not line-suppressible.
+    if let Some(ckpt_lib) = ckpt_lib {
+        if ckpt_lib.is_file() {
+            let label = rel_label(root, &ckpt_lib);
+            let source = fs::read_to_string(&ckpt_lib)
+                .map_err(|e| format!("simlint: cannot read {label}: {e}"))?;
+            let computed = snapshot_fields_hash(&field_sets);
+            report.diagnostics.extend(check_ckpt_pin(&label, &source, computed));
+            report.ckpt_fields_hash = Some(computed);
+        }
+    }
 
     report
         .diagnostics
@@ -985,6 +1212,87 @@ mod tests {
         let denied = lint_source_with("x.rs", src, &[Rule::U1, Rule::U2], &opts);
         assert_eq!(denied.diagnostics.len(), 1);
         assert_eq!(denied.diagnostics[0].rule, Rule::U2);
+    }
+
+    fn demo_sets() -> Vec<SnapshotFieldSet> {
+        vec![
+            SnapshotFieldSet {
+                crate_name: "sched".to_string(),
+                type_name: "System".to_string(),
+                fields: vec!["clock".to_string(), "queue".to_string()],
+            },
+            SnapshotFieldSet {
+                crate_name: "machine".to_string(),
+                type_name: "Machine".to_string(),
+                fields: vec!["temp".to_string()],
+            },
+        ]
+    }
+
+    #[test]
+    fn snapshot_fields_hash_is_order_independent() {
+        let forward = demo_sets();
+        let mut reversed = demo_sets();
+        reversed.reverse();
+        assert_eq!(snapshot_fields_hash(&forward), snapshot_fields_hash(&reversed));
+        let mut grown = demo_sets();
+        grown[0].fields.push("rng".to_string());
+        assert_ne!(snapshot_fields_hash(&forward), snapshot_fields_hash(&grown));
+    }
+
+    #[test]
+    fn ckpt_pin_parses_version_and_hash() {
+        let src = "pub const CKPT_FORMAT_VERSION: u32 = 3;\n\
+                   // simlint::ckpt_pin(version = 3, fields = 0x00ab_cdef_0123_4567)\n";
+        let pin = parse_ckpt_pin(src).expect("pin");
+        assert_eq!(pin, CkptPin { line: 2, version: 3, fields: 0x00ab_cdef_0123_4567 });
+        assert_eq!(parse_ckpt_version(src), Some((1, 3)));
+        assert!(parse_ckpt_pin("// simlint::ckpt_pin(version = x)\n").is_none());
+    }
+
+    #[test]
+    fn s2_clean_when_pin_matches() {
+        let computed = snapshot_fields_hash(&demo_sets());
+        let src = format!(
+            "pub const CKPT_FORMAT_VERSION: u32 = 1;\n\
+             // simlint::ckpt_pin(version = 1, fields = 0x{computed:016x})\n"
+        );
+        assert!(check_ckpt_pin("ckpt.rs", &src, computed).is_empty());
+    }
+
+    #[test]
+    fn s2_fires_on_field_change_without_version_bump() {
+        let computed = snapshot_fields_hash(&demo_sets());
+        let src = "pub const CKPT_FORMAT_VERSION: u32 = 1;\n\
+                   // simlint::ckpt_pin(version = 1, fields = 0xdeadbeefdeadbeef)\n";
+        let diags = check_ckpt_pin("ckpt.rs", src, computed);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::S2);
+        assert_eq!(diags[0].line, 1);
+        assert!(diags[0].message.contains("bump CKPT_FORMAT_VERSION"));
+    }
+
+    #[test]
+    fn s2_fires_on_stale_pin_after_version_bump() {
+        let computed = snapshot_fields_hash(&demo_sets());
+        let src = format!(
+            "pub const CKPT_FORMAT_VERSION: u32 = 2;\n\
+             // simlint::ckpt_pin(version = 1, fields = 0x{computed:016x})\n"
+        );
+        let diags = check_ckpt_pin("ckpt.rs", &src, computed);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::S2);
+        assert_eq!(diags[0].line, 2);
+        assert!(diags[0].message.contains("stale ckpt_pin"));
+        assert!(diags[0].message.contains("version = 2"));
+    }
+
+    #[test]
+    fn s2_fires_on_missing_pin() {
+        let diags = check_ckpt_pin("ckpt.rs", "pub fn noop() {}\n", 7);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::S2);
+        assert!(diags[0].message.contains("missing"));
     }
 
     #[test]

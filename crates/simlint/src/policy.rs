@@ -50,6 +50,19 @@ const LIB: &[Rule] = &[
     Rule::F1,
     Rule::A1,
 ];
+const CKPT: &[Rule] = &[
+    Rule::D1,
+    Rule::D2,
+    Rule::D3,
+    Rule::D4,
+    Rule::R1,
+    Rule::S1,
+    Rule::S2,
+    Rule::U1,
+    Rule::U2,
+    Rule::F1,
+    Rule::A1,
+];
 const HARNESS: &[Rule] = &[
     Rule::D1,
     Rule::D2,
@@ -86,6 +99,8 @@ const BENCH: &[Rule] = &[
 /// Rule-set policy (unchanged from v1, plus the item rules everywhere):
 /// - `sim-core`, `dimetrodon`: the full set including `Doc1`.
 /// - other result-path library crates: everything but `Doc1`.
+/// - `ckpt`: library set plus `S2` (the checkpoint version-bump guard —
+///   the pin it checks lives in this crate next to `CKPT_FORMAT_VERSION`).
 /// - `harness`: library set plus `R2` (supervision must not swallow
 ///   failures).
 /// - `cli`: determinism + `R2` + the item rules.
@@ -110,6 +125,10 @@ pub fn policy_for_crate(dir_name: &str) -> CratePolicy {
         "analysis" => ("analysis", LIB),
         "faults" => ("faults", LIB),
         "fleet" => ("fleet", LIB),
+        // The checkpoint-format crate additionally carries S2: the
+        // version-bump guard that pins the workspace's S1-governed
+        // snapshot field sets against CKPT_FORMAT_VERSION.
+        "ckpt" => ("ckpt", CKPT),
         "harness" => ("harness", HARNESS),
         "cli" => ("cli", APP),
         "bench" => ("bench", BENCH),
@@ -188,6 +207,15 @@ mod tests {
             .snapshot_types
             .contains(&"ChaosStats"));
         assert!(policy_for_crate("analysis").snapshot_types.is_empty());
+    }
+
+    #[test]
+    fn s2_governs_the_ckpt_crate_only() {
+        assert!(policy_for_crate("ckpt").rules.contains(&Rule::S2));
+        assert!(policy_for_crate("ckpt").snapshot_types.is_empty());
+        for name in ["sim-core", "machine", "sched", "fleet", "harness"] {
+            assert!(!policy_for_crate(name).rules.contains(&Rule::S2), "{name}");
+        }
     }
 
     #[test]

@@ -33,6 +33,13 @@ pub enum Rule {
     /// method (`snapshot`/`fork`/`restore`/`clone`) or carry a
     /// `simlint::shared` marker for Arc-shared immutable state.
     S1,
+    /// Checkpoint version-bump guard: the hash of every S1-governed
+    /// snapshot field set across the workspace must match the
+    /// `// simlint::ckpt_pin(version = N, fields = 0x…)` pin in the ckpt
+    /// crate. A changed field set at an unchanged `CKPT_FORMAT_VERSION`
+    /// means old checkpoint files would decode into differently-shaped
+    /// state — bump the version and re-pin.
+    S2,
     /// Every `unsafe` block/fn/impl needs an adjacent `// SAFETY:` comment
     /// (or a `# Safety` doc section on the item).
     U1,
@@ -61,7 +68,7 @@ pub enum Severity {
 
 impl Rule {
     /// Every rule, in report order.
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 13] = [
         Rule::D1,
         Rule::D2,
         Rule::D3,
@@ -69,6 +76,7 @@ impl Rule {
         Rule::R1,
         Rule::R2,
         Rule::S1,
+        Rule::S2,
         Rule::U1,
         Rule::U2,
         Rule::F1,
@@ -86,6 +94,7 @@ impl Rule {
             Rule::R1 => "R1",
             Rule::R2 => "R2",
             Rule::S1 => "S1",
+            Rule::S2 => "S2",
             Rule::U1 => "U1",
             Rule::U2 => "U2",
             Rule::F1 => "F1",
@@ -104,6 +113,7 @@ impl Rule {
             "R1" => Some(Rule::R1),
             "R2" => Some(Rule::R2),
             "S1" => Some(Rule::S1),
+            "S2" => Some(Rule::S2),
             "U1" => Some(Rule::U1),
             "U2" => Some(Rule::U2),
             "F1" => Some(Rule::F1),
@@ -117,11 +127,14 @@ impl Rule {
     ///
     /// The deny tier holds the rules whose violation can silently corrupt
     /// replay identity (`D1`–`D3`), break it outright (`S1` — a field
-    /// missing from a snapshot copy resumes with stale state), widen the
-    /// unsafe surface (`U2`), or let a feature chain go stale (`F1`).
+    /// missing from a snapshot copy resumes with stale state), let a stale
+    /// checkpoint format restore wrong state (`S2`), widen the unsafe
+    /// surface (`U2`), or let a feature chain go stale (`F1`).
     pub fn default_severity(self) -> Severity {
         match self {
-            Rule::D1 | Rule::D2 | Rule::D3 | Rule::S1 | Rule::U2 | Rule::F1 => Severity::Deny,
+            Rule::D1 | Rule::D2 | Rule::D3 | Rule::S1 | Rule::S2 | Rule::U2 | Rule::F1 => {
+                Severity::Deny
+            }
             Rule::D4 | Rule::R1 | Rule::R2 | Rule::U1 | Rule::A1 | Rule::Doc1 => Severity::Warn,
         }
     }
@@ -413,8 +426,8 @@ pub fn check_line(code: &str, enabled: &[Rule], has_doc: bool) -> Vec<(Rule, Str
                 }
             }
             // Item-level rules: evaluated over the parsed syntax of a whole
-            // file (or crate) in `lib.rs`, not per line.
-            Rule::S1 | Rule::U1 | Rule::U2 | Rule::F1 | Rule::A1 => {}
+            // file (or crate/workspace) in `lib.rs`, not per line.
+            Rule::S1 | Rule::S2 | Rule::U1 | Rule::U2 | Rule::F1 | Rule::A1 => {}
         }
     }
     found

@@ -1,0 +1,10 @@
+//! S2 fixture: a checkpoint-format crate stub whose format version was
+//! bumped to 2 while the pin still records version 1 (stale pin).
+
+/// On-disk format version.
+pub const CKPT_FORMAT_VERSION: u32 = 2;
+
+// simlint::ckpt_pin(version = 1, fields = 0x1111111111111111)
+
+/// The guard reads only the const and the pin; code is irrelevant.
+pub fn noop() {}

@@ -12,8 +12,9 @@ use std::process::Command;
 
 use simlint::parse::{self, CfgView};
 use simlint::{
-    check_feature_forwarding, lint_source, lint_source_with, lint_workspace,
-    lint_workspace_with, manifest, policy, LintOptions, Report, Rule, Severity,
+    check_ckpt_pin, check_feature_forwarding, lint_source, lint_source_with,
+    lint_workspace, lint_workspace_with, manifest, policy, LintOptions, Report, Rule,
+    Severity,
 };
 
 const FULL: &[Rule] = &[
@@ -113,6 +114,11 @@ fn every_rule_is_exercised_by_some_fixture() {
             .into_iter()
             .map(|(_, r)| r),
     );
+    fired.extend(
+        check_ckpt_pin("fixture.rs", &fixture("ckpt_pin.rs"), 0)
+            .into_iter()
+            .map(|d| d.rule),
+    );
     for rule in Rule::ALL {
         assert!(fired.contains(&rule), "rule {rule} never fired");
     }
@@ -174,6 +180,78 @@ fn snapshot_mutation_deleting_one_field_copy_turns_red() {
         "removing the `samples` copy must fire S1: {:?}",
         lint.diagnostics
     );
+}
+
+#[test]
+fn ckpt_pin_fixture_pins_s2_behaviors() {
+    let src = fixture("ckpt_pin.rs");
+    // Stale pin: the fixture's version is 2 but the pin records 1.
+    let stale = check_ckpt_pin("fixture.rs", &src, 0x1111_1111_1111_1111);
+    assert_eq!(stale.len(), 1, "{stale:?}");
+    assert_eq!(stale[0].rule, Rule::S2);
+    assert_eq!(stale[0].line, 7);
+    assert!(stale[0].message.contains("stale ckpt_pin"));
+    assert!(stale[0].message.contains("version = 2"));
+
+    // Re-pinning as the message instructs makes it clean.
+    let repinned = src.replace(
+        "ckpt_pin(version = 1, fields = 0x1111111111111111)",
+        "ckpt_pin(version = 2, fields = 0x1111111111111111)",
+    );
+    assert_ne!(repinned, src);
+    assert!(check_ckpt_pin("fixture.rs", &repinned, 0x1111_1111_1111_1111).is_empty());
+
+    // Field drift at the matching version demands a format bump.
+    let drift = check_ckpt_pin("fixture.rs", &repinned, 0x2222_2222_2222_2222);
+    assert_eq!(drift.len(), 1, "{drift:?}");
+    assert_eq!(drift[0].rule, Rule::S2);
+    assert_eq!(drift[0].line, 5);
+    assert!(drift[0].message.contains("bump CKPT_FORMAT_VERSION"));
+
+    // A source with no pin at all cannot be guarded.
+    let missing = check_ckpt_pin("fixture.rs", "pub fn noop() {}\n", 7);
+    assert_eq!(missing.len(), 1, "{missing:?}");
+    assert!(missing[0].message.contains("missing"));
+}
+
+/// Live half of the S2 contract, mirroring the S1 mutation sweep: the
+/// real workspace is in sync today, and either perturbing the snapshot
+/// field-set hash (what adding/removing/renaming any governed field
+/// does) or bumping `CKPT_FORMAT_VERSION` without re-pinning turns the
+/// guard red against the real `crates/ckpt/src/lib.rs`.
+#[test]
+fn live_ckpt_pin_guards_the_real_workspace() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_workspace(&root).unwrap_or_else(|e| panic!("{e}"));
+    let computed = report
+        .ckpt_fields_hash
+        .expect("the S2 guard must run on the live workspace");
+    let lib = root.join("crates/ckpt/src/lib.rs");
+    let src = std::fs::read_to_string(&lib).unwrap_or_else(|e| panic!("{e}"));
+    assert!(
+        check_ckpt_pin("crates/ckpt/src/lib.rs", &src, computed).is_empty(),
+        "live pin out of sync: run `simlint --ckpt-hash` and update the pin"
+    );
+
+    let drift = check_ckpt_pin("crates/ckpt/src/lib.rs", &src, computed ^ 1);
+    assert_eq!(drift.len(), 1, "{drift:?}");
+    assert_eq!(drift[0].rule, Rule::S2);
+    assert!(drift[0].message.contains("bump CKPT_FORMAT_VERSION"));
+
+    let bumped = src.replace(
+        "pub const CKPT_FORMAT_VERSION: u32 = 1;",
+        "pub const CKPT_FORMAT_VERSION: u32 = 2;",
+    );
+    assert_ne!(bumped, src, "expected the live format version to be 1");
+    let stale = check_ckpt_pin("crates/ckpt/src/lib.rs", &bumped, computed);
+    assert_eq!(stale.len(), 1, "{stale:?}");
+    assert!(stale[0].message.contains("stale ckpt_pin"));
+
+    // Both cfg views must agree on the hash — snapshot structs are never
+    // feature-gated, so the pin is view-independent.
+    let simd = lint_workspace_with(&root, &CfgView::with_features(["simd"]))
+        .unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(simd.ckpt_fields_hash, Some(computed));
 }
 
 #[test]

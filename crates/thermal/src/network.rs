@@ -443,6 +443,50 @@ pub struct ThermalSnapshot {
     boundary_celsius: f64,
 }
 
+impl ThermalSnapshot {
+    /// Serializes the snapshot for a durable checkpoint: every float as
+    /// its IEEE-754 bit pattern, so decode is bit-exact.
+    pub fn encode_state(&self, enc: &mut dimetrodon_ckpt::Enc) {
+        enc.f64_slice(&self.temperatures);
+        enc.f64_slice(&self.powers);
+        enc.f64(self.boundary_celsius);
+    }
+
+    /// Rebuilds a snapshot from [`encode_state`](Self::encode_state)
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`dimetrodon_ckpt::CkptError`] on a short or malformed
+    /// payload, and when the two node vectors disagree in length (a
+    /// snapshot that could never have been encoded).
+    pub fn decode_state(
+        dec: &mut dimetrodon_ckpt::Dec<'_>,
+    ) -> Result<Self, dimetrodon_ckpt::CkptError> {
+        let temperatures = dec.f64_vec()?;
+        let powers = dec.f64_vec()?;
+        let boundary_celsius = dec.f64()?;
+        if temperatures.len() != powers.len() {
+            return Err(dimetrodon_ckpt::CkptError::Malformed(format!(
+                "thermal snapshot with {} temperatures but {} powers",
+                temperatures.len(),
+                powers.len()
+            )));
+        }
+        Ok(ThermalSnapshot {
+            temperatures,
+            powers,
+            boundary_celsius,
+        })
+    }
+
+    /// Number of nodes the snapshot covers (restore requires it to match
+    /// the target network).
+    pub fn node_count(&self) -> usize {
+        self.temperatures.len()
+    }
+}
+
 impl ThermalNetwork {
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
